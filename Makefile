@@ -1,0 +1,60 @@
+# Convenience targets for the LCRQ reproduction. Everything is plain
+# `go` — the Makefile just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build vet test race purego fuzz bench examples reproduce check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Exercise the portable CAS2 emulation even on amd64.
+purego:
+	$(GO) test -tags purego ./internal/atomic128/ ./internal/core/ .
+
+# Short fuzzing pass over the three fuzz targets.
+fuzz:
+	$(GO) test -fuzz FuzzQueueModel -fuzztime 30s .
+	$(GO) test -fuzz FuzzTypedModel -fuzztime 30s .
+	$(GO) test -fuzz FuzzPacked32Model -fuzztime 30s .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/pipeline
+	$(GO) run ./examples/taskpool
+	$(GO) run ./examples/instrumentation
+	$(GO) run ./examples/portable
+
+# Scaled-down version of the paper's full evaluation (see -paper for the
+# real thing).
+reproduce:
+	$(GO) run ./cmd/reproduce -o report_scaled.md
+
+# Linearizability campaign across every registered queue.
+linearcheck:
+	$(GO) run ./cmd/linearcheck -rounds 300 -v
+
+# Bounded model checking of the CRQ protocol.
+modelcheck:
+	$(GO) run ./cmd/modelcheck -max 2000000
+	$(GO) run ./cmd/modelcheck -mutate empty -ops 2 || true
+	$(GO) run ./cmd/modelcheck -mutate idx -ops 2 || true
+
+check: build vet test race purego
+
+clean:
+	$(GO) clean ./...

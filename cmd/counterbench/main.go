@@ -1,0 +1,67 @@
+// Command counterbench regenerates Figure 1 of the LCRQ paper: the cost of
+// incrementing one contended counter with fetch-and-add versus a CAS loop,
+// and the number of CAS attempts per increment.
+//
+// Usage:
+//
+//	counterbench                    # threads 1..2×CPUs, 10^6 incs each
+//	counterbench -incs 10000000 -maxthreads 80
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"lcrq/internal/counter"
+)
+
+func main() {
+	var (
+		incs       = flag.Int("incs", 1_000_000, "increments per thread")
+		maxThreads = flag.Int("maxthreads", 0, "largest thread count (0 = 2×NumCPU)")
+		pin        = flag.Bool("pin", true, "pin threads to CPUs when supported")
+		csv        = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	max := *maxThreads
+	if max <= 0 {
+		max = 2 * runtime.NumCPU()
+	}
+	var threads []int
+	for t := 1; t <= max; t *= 2 {
+		threads = append(threads, t)
+	}
+	if threads[len(threads)-1] != max {
+		threads = append(threads, max)
+	}
+
+	if *csv {
+		fmt.Println("threads,faa_ns_per_inc,cas_ns_per_inc,cas_attempts_per_inc")
+	} else {
+		fmt.Println("Figure 1: time to increment a contended counter")
+		fmt.Printf("host: %d CPUs; %d increments per thread\n\n", runtime.NumCPU(), *incs)
+		fmt.Printf("%-8s  %-14s  %-14s  %-8s  %s\n",
+			"threads", "F&A ns/inc", "CAS ns/inc", "CAS/inc", "CAS slowdown")
+		fmt.Println(strings.Repeat("-", 64))
+	}
+	for _, t := range threads {
+		faa := counter.Run(counter.FAA, t, *incs, *pin)
+		cas := counter.Run(counter.CASLoop, t, *incs, *pin)
+		if *csv {
+			fmt.Printf("%d,%.2f,%.2f,%.3f\n", t, faa.NsPerInc, cas.NsPerInc, cas.CASPerInc)
+			continue
+		}
+		fmt.Printf("%-8d  %-14.2f  %-14.2f  %-8.3f  %.2fx\n",
+			t, faa.NsPerInc, cas.NsPerInc, cas.CASPerInc, cas.NsPerInc/faa.NsPerInc)
+	}
+	if !*csv {
+		fmt.Println("\nThe paper reports a 4x-6x F&A advantage at high concurrency on a")
+		fmt.Println("4-socket Westmere EX; the gap grows with hardware parallelism and")
+		fmt.Println("will be small on hosts with few CPUs.")
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,137 @@
+// Portable: the Packed32 variant for platforms without a 128-bit CAS.
+//
+//	go run ./examples/portable
+//
+// The default Queue needs LOCK CMPXCHG16B for its 128-bit ring cells, which
+// Go can only issue on amd64; elsewhere it degrades to a striped-lock
+// emulation that is correct but not lock-free. Packed32 squeezes the whole
+// cell protocol — unsafe flag, index, value — into one 64-bit word, so a
+// plain CompareAndSwapUint64 drives it on any architecture, at the price of
+// 32-bit values. This example runs both side by side and reports whether
+// the native double-width path is available on this machine.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcrq"
+	"lcrq/internal/atomic128"
+)
+
+const (
+	workers = 4
+	perW    = 100_000
+)
+
+func main() {
+	if atomic128.Available() {
+		fmt.Println("this build uses native CMPXCHG16B for the 128-bit queue")
+	} else {
+		fmt.Println("no native 128-bit CAS here: the 128-bit queue uses the striped-lock emulation,")
+		fmt.Println("which is exactly the situation Packed32 exists for")
+	}
+
+	// Same MPMC workload through both queues.
+	wide := lcrq.New()
+	t0 := time.Now()
+	var sumWide atomic.Uint64
+	runWide(wide, &sumWide)
+	wideTime := time.Since(t0)
+
+	packed := lcrq.NewPacked32(0)
+	t0 = time.Now()
+	var sumPacked atomic.Uint64
+	runPacked(packed, &sumPacked)
+	packedTime := time.Since(t0)
+
+	if sumWide.Load() != sumPacked.Load() {
+		fmt.Printf("ERROR: checksums differ: %d vs %d\n", sumWide.Load(), sumPacked.Load())
+		return
+	}
+	total := workers * perW
+	fmt.Printf("moved %d items through each queue (checksum %d)\n", total, sumWide.Load())
+	fmt.Printf("  Queue (128-bit cells):    %v\n", wideTime)
+	fmt.Printf("  Packed32 (64-bit cells):  %v\n", packedTime)
+	fmt.Println("Packed32 trades value width (32 bits) and ring recycling for portability;")
+	fmt.Println("see the package docs for its wraparound-index assumptions.")
+}
+
+func runWide(q *lcrq.Queue, sum *atomic.Uint64) {
+	var wg sync.WaitGroup
+	var consumed atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.NewHandle()
+			defer h.Release()
+			for i := 0; i < perW; i++ {
+				h.Enqueue(uint64(w*perW+i) + 1)
+				if v, ok := h.Dequeue(); ok {
+					sum.Add(v)
+					consumed.Add(1)
+				}
+			}
+			for consumed.Load() < workers*perW {
+				if v, ok := h.Dequeue(); ok {
+					sum.Add(v)
+					consumed.Add(1)
+				} else {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Drain stragglers.
+	h := q.NewHandle()
+	defer h.Release()
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			return
+		}
+		sum.Add(v)
+	}
+}
+
+func runPacked(q *lcrq.Packed32, sum *atomic.Uint64) {
+	var wg sync.WaitGroup
+	var consumed atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := q.NewHandle()
+			defer h.Release()
+			for i := 0; i < perW; i++ {
+				h.Enqueue(uint32(w*perW+i) + 1)
+				if v, ok := h.Dequeue(); ok {
+					sum.Add(uint64(v))
+					consumed.Add(1)
+				}
+			}
+			for consumed.Load() < workers*perW {
+				if v, ok := h.Dequeue(); ok {
+					sum.Add(uint64(v))
+					consumed.Add(1)
+				} else {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	h := q.NewHandle()
+	defer h.Release()
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			return
+		}
+		sum.Add(uint64(v))
+	}
+}

@@ -1,0 +1,125 @@
+package lcrq
+
+// Native Go fuzz targets. The seed corpus below runs as part of the normal
+// test suite; `go test -fuzz=FuzzQueueModel .` explores further.
+
+import (
+	"testing"
+)
+
+// FuzzQueueModel interprets the fuzz input as an op tape — even bytes
+// enqueue, odd bytes dequeue — and cross-checks the queue against a slice
+// model. The low bits of each byte choose the queue geometry, so the fuzzer
+// also explores tiny rings, CAS-loop mode, and disabled spin waits.
+func FuzzQueueModel(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 1, 1}, uint8(0))
+	f.Add([]byte{2, 2, 2, 3, 3, 3, 2, 3}, uint8(1))
+	f.Add([]byte{1, 1, 1, 0, 0, 0}, uint8(2))
+	f.Add([]byte{0, 2, 4, 6, 1, 3, 5, 7, 9, 11}, uint8(3))
+	f.Fuzz(func(t *testing.T, ops []byte, geom uint8) {
+		opts := []Option{WithRingSize(2 << (geom % 4))}
+		if geom&4 != 0 {
+			opts = append(opts, WithCASLoopFAA())
+		}
+		if geom&8 != 0 {
+			opts = append(opts, WithSpinWait(-1))
+		}
+		if geom&16 != 0 {
+			opts = append(opts, WithoutRecycling())
+		}
+		q := New(opts...)
+		h := q.NewHandle()
+		defer h.Release()
+		var model []uint64
+		next := uint64(1)
+		for _, op := range ops {
+			if op%2 == 0 {
+				h.Enqueue(next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := h.Dequeue()
+				switch {
+				case len(model) == 0 && ok:
+					t.Fatalf("dequeue from empty returned %d", v)
+				case len(model) > 0 && (!ok || v != model[0]):
+					t.Fatalf("dequeue = (%d,%v), want (%d,true)", v, ok, model[0])
+				case len(model) > 0:
+					model = model[1:]
+				}
+			}
+		}
+		// Drain and verify the remainder.
+		for _, want := range model {
+			v, ok := h.Dequeue()
+			if !ok || v != want {
+				t.Fatalf("drain = (%d,%v), want (%d,true)", v, ok, want)
+			}
+		}
+		if v, ok := h.Dequeue(); ok {
+			t.Fatalf("extra value %d after drain", v)
+		}
+	})
+}
+
+// FuzzTypedModel drives the typed facade with string payloads against a
+// model, exercising the slot arena and free list.
+func FuzzTypedModel(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1}, "seed")
+	f.Add([]byte{0, 1, 0, 1, 0, 1}, "")
+	f.Fuzz(func(t *testing.T, ops []byte, payload string) {
+		q := NewTyped[string](WithRingSize(4))
+		h := q.NewHandle()
+		defer h.Release()
+		var model []string
+		n := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				s := payload + string(rune('a'+n%26))
+				h.Enqueue(s)
+				model = append(model, s)
+				n++
+			} else {
+				v, ok := h.Dequeue()
+				switch {
+				case len(model) == 0 && ok:
+					t.Fatalf("dequeue from empty returned %q", v)
+				case len(model) > 0 && (!ok || v != model[0]):
+					t.Fatalf("dequeue = (%q,%v), want %q", v, ok, model[0])
+				case len(model) > 0:
+					model = model[1:]
+				}
+			}
+		}
+	})
+}
+
+// FuzzPacked32Model drives the portable packed queue against a model.
+func FuzzPacked32Model(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 1, 1}, uint8(2))
+	f.Add([]byte{1, 0, 1, 0}, uint8(5))
+	f.Fuzz(func(t *testing.T, ops []byte, order uint8) {
+		q := NewPacked32(int(order%8) + 1)
+		h := q.NewHandle()
+		defer h.Release()
+		var model []uint32
+		next := uint32(1)
+		for _, op := range ops {
+			if op%2 == 0 {
+				h.Enqueue(next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := h.Dequeue()
+				switch {
+				case len(model) == 0 && ok:
+					t.Fatalf("dequeue from empty returned %d", v)
+				case len(model) > 0 && (!ok || v != model[0]):
+					t.Fatalf("dequeue = (%d,%v), want %d", v, ok, model[0])
+				case len(model) > 0:
+					model = model[1:]
+				}
+			}
+		}
+	})
+}

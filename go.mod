@@ -1,0 +1,3 @@
+module lcrq
+
+go 1.24

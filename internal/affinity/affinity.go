@@ -1,0 +1,224 @@
+// Package affinity reproduces the thread-placement part of the paper's
+// methodology: "Each thread is pinned to a specific hardware thread, to
+// avoid interference from the operating system scheduler", and the
+// round-robin cross-processor placement of the four-processor experiments.
+//
+// Pinning is done with raw sched_setaffinity system calls on Linux (no cgo,
+// no external modules); other platforms compile to a no-op that reports
+// ErrUnsupported. The machine topology — which CPU belongs to which physical
+// package ("cluster" in the paper's terminology) — is parsed from
+// /sys/devices/system/cpu. When the host exposes fewer packages than an
+// experiment requires (including the single-CPU container this repository
+// was developed in), callers fall back to simulated clusters: a stable
+// worker-id → cluster mapping that preserves the batching behaviour of the
+// hierarchical algorithms without the cache-locality effects. Every harness
+// result records which mode was used.
+package affinity
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrUnsupported is returned where the platform cannot pin threads.
+var ErrUnsupported = errors.New("affinity: thread pinning unsupported on this platform")
+
+// CPU describes one logical processor.
+type CPU struct {
+	ID      int // logical CPU number (cpuN)
+	Package int // physical package (socket) id; the paper's "cluster"
+	Core    int // core id within the package
+}
+
+// Topology is the set of online logical CPUs grouped by package.
+type Topology struct {
+	CPUs     []CPU
+	Packages [][]int // Packages[p] lists logical CPU ids in package p (dense index)
+}
+
+// NumCPUs returns the number of online logical CPUs.
+func (t *Topology) NumCPUs() int { return len(t.CPUs) }
+
+// NumPackages returns the number of physical packages.
+func (t *Topology) NumPackages() int { return len(t.Packages) }
+
+// Detect reads the host topology from sysfs. If sysfs is unavailable it
+// falls back to a single synthetic package containing runtime.NumCPU()
+// logical CPUs.
+func Detect() *Topology {
+	t, err := detectSysfs("/sys/devices/system/cpu")
+	if err != nil || t.NumCPUs() == 0 {
+		return synthetic(runtime.NumCPU())
+	}
+	return t
+}
+
+// synthetic builds a topology of n CPUs in one package, used when sysfs is
+// unreadable.
+func synthetic(n int) *Topology {
+	if n < 1 {
+		n = 1
+	}
+	t := &Topology{}
+	pkg := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		t.CPUs = append(t.CPUs, CPU{ID: i, Package: 0, Core: i})
+		pkg = append(pkg, i)
+	}
+	t.Packages = [][]int{pkg}
+	return t
+}
+
+func detectSysfs(root string) (*Topology, error) {
+	online, err := os.ReadFile(root + "/online")
+	if err != nil {
+		return nil, err
+	}
+	ids, err := ParseCPUList(strings.TrimSpace(string(online)))
+	if err != nil {
+		return nil, err
+	}
+	t := &Topology{}
+	pkgIndex := map[int]int{} // physical_package_id -> dense index
+	for _, id := range ids {
+		base := fmt.Sprintf("%s/cpu%d/topology", root, id)
+		pkg := readIntFile(base+"/physical_package_id", 0)
+		core := readIntFile(base+"/core_id", id)
+		t.CPUs = append(t.CPUs, CPU{ID: id, Package: pkg, Core: core})
+		if _, ok := pkgIndex[pkg]; !ok {
+			pkgIndex[pkg] = len(pkgIndex)
+		}
+	}
+	// Dense, deterministic package numbering ordered by physical id.
+	physIDs := make([]int, 0, len(pkgIndex))
+	for p := range pkgIndex {
+		physIDs = append(physIDs, p)
+	}
+	sort.Ints(physIDs)
+	dense := map[int]int{}
+	for i, p := range physIDs {
+		dense[p] = i
+	}
+	t.Packages = make([][]int, len(physIDs))
+	for i := range t.CPUs {
+		d := dense[t.CPUs[i].Package]
+		t.CPUs[i].Package = d
+		t.Packages[d] = append(t.Packages[d], t.CPUs[i].ID)
+	}
+	return t, nil
+}
+
+func readIntFile(path string, def int) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return def
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// ParseCPUList parses the kernel's CPU list format, e.g. "0-3,8,10-11".
+func ParseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(lo)
+			if err != nil {
+				return nil, fmt.Errorf("affinity: bad cpu list %q: %w", s, err)
+			}
+			b, err := strconv.Atoi(hi)
+			if err != nil {
+				return nil, fmt.Errorf("affinity: bad cpu list %q: %w", s, err)
+			}
+			if b < a {
+				return nil, fmt.Errorf("affinity: bad cpu range %q", part)
+			}
+			for v := a; v <= b; v++ {
+				out = append(out, v)
+			}
+		} else {
+			v, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("affinity: bad cpu list %q: %w", s, err)
+			}
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// Placement maps each of n workers to a logical CPU and a cluster id,
+// implementing the paper's two pinning policies.
+type Placement struct {
+	CPUOf     []int // CPUOf[w] is the logical CPU for worker w, or -1
+	ClusterOf []int // ClusterOf[w] is the cluster id for worker w
+	Clusters  int   // number of distinct clusters used
+	Simulated bool  // true when clusters do not correspond to hardware packages
+}
+
+// SingleCluster places n workers within one package, filling its CPUs in
+// order and wrapping (oversubscription) — the paper's single-processor
+// executions. If the package has fewer CPUs than workers the extra workers
+// share CPUs, which is exactly the oversubscribed regime of Figure 6b.
+func (t *Topology) SingleCluster(n int) *Placement {
+	p := &Placement{CPUOf: make([]int, n), ClusterOf: make([]int, n), Clusters: 1}
+	cpus := t.Packages[0]
+	for w := 0; w < n; w++ {
+		p.CPUOf[w] = cpus[w%len(cpus)]
+	}
+	return p
+}
+
+// RoundRobin distributes n workers across clusters packages round-robin —
+// the paper's four-processor executions where "the cross-processor cache
+// coherency cost always exists". If the hardware has fewer packages than
+// requested, clusters are simulated: workers still receive round-robin
+// cluster ids (so hierarchical algorithms batch identically) but share the
+// available CPUs.
+func (t *Topology) RoundRobin(n, clusters int) *Placement {
+	if clusters <= 0 {
+		clusters = t.NumPackages()
+	}
+	p := &Placement{CPUOf: make([]int, n), ClusterOf: make([]int, n), Clusters: clusters}
+	if clusters > t.NumPackages() {
+		p.Simulated = true
+	}
+	next := make([]int, t.NumPackages())
+	for w := 0; w < n; w++ {
+		cl := w % clusters
+		p.ClusterOf[w] = cl
+		if p.Simulated {
+			// Spread over whatever CPUs exist.
+			all := t.CPUs
+			p.CPUOf[w] = all[w%len(all)].ID
+			continue
+		}
+		pkg := t.Packages[cl]
+		p.CPUOf[w] = pkg[next[cl]%len(pkg)]
+		next[cl]++
+	}
+	return p
+}
+
+// PinSelf pins the calling goroutine's OS thread to the given logical CPU.
+// Callers must have locked the goroutine to its thread with
+// runtime.LockOSThread first. Returns ErrUnsupported on non-Linux builds.
+func PinSelf(cpu int) error { return pinSelf(cpu) }
+
+// CanPin reports whether PinSelf can work on this platform.
+func CanPin() bool { return canPin }

@@ -1,0 +1,188 @@
+package affinity
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+func TestParseCPUList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"", nil, false},
+		{"0", []int{0}, false},
+		{"0-3", []int{0, 1, 2, 3}, false},
+		{"0-1,4,6-7", []int{0, 1, 4, 6, 7}, false},
+		{" 2 , 3 ", []int{2, 3}, false},
+		{"3-1", nil, true},
+		{"x", nil, true},
+		{"1-y", nil, true},
+		{"z-2", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseCPUList(c.in)
+		if c.err {
+			if err == nil {
+				t.Fatalf("ParseCPUList(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("ParseCPUList(%q): %v", c.in, err)
+		}
+		if len(got) != len(c.want) {
+			t.Fatalf("ParseCPUList(%q) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ParseCPUList(%q) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+// writeFakeSysfs builds a sysfs-like tree with the given cpu→package map.
+func writeFakeSysfs(t *testing.T, pkgs map[int]int, online string) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "online"), []byte(online+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for cpu, pkg := range pkgs {
+		dir := filepath.Join(root, "cpu"+strconv.Itoa(cpu), "topology")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		os.WriteFile(filepath.Join(dir, "physical_package_id"), []byte(strconv.Itoa(pkg)+"\n"), 0o644)
+		os.WriteFile(filepath.Join(dir, "core_id"), []byte(strconv.Itoa(cpu%4)+"\n"), 0o644)
+	}
+	return root
+}
+
+func TestDetectSysfsTwoPackages(t *testing.T) {
+	root := writeFakeSysfs(t, map[int]int{0: 3, 1: 3, 2: 7, 3: 7}, "0-3")
+	topo, err := detectSysfs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCPUs() != 4 || topo.NumPackages() != 2 {
+		t.Fatalf("got %d cpus, %d packages", topo.NumCPUs(), topo.NumPackages())
+	}
+	// Physical ids 3 and 7 must be densified to 0 and 1 in order.
+	if topo.CPUs[0].Package != 0 || topo.CPUs[2].Package != 1 {
+		t.Fatalf("dense packages wrong: %+v", topo.CPUs)
+	}
+	if len(topo.Packages[0]) != 2 || len(topo.Packages[1]) != 2 {
+		t.Fatalf("package membership wrong: %+v", topo.Packages)
+	}
+}
+
+func TestDetectSysfsMissingTopologyFiles(t *testing.T) {
+	root := t.TempDir()
+	os.WriteFile(filepath.Join(root, "online"), []byte("0-1\n"), 0o644)
+	topo, err := detectSysfs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: package 0, core = cpu id.
+	if topo.NumPackages() != 1 || topo.NumCPUs() != 2 {
+		t.Fatalf("fallback topology wrong: %+v", topo)
+	}
+}
+
+func TestDetectNeverEmpty(t *testing.T) {
+	topo := Detect()
+	if topo.NumCPUs() < 1 || topo.NumPackages() < 1 {
+		t.Fatalf("Detect returned empty topology: %+v", topo)
+	}
+}
+
+func TestSyntheticClampsToOne(t *testing.T) {
+	topo := synthetic(0)
+	if topo.NumCPUs() != 1 {
+		t.Fatalf("synthetic(0) has %d cpus", topo.NumCPUs())
+	}
+}
+
+func TestSingleClusterPlacement(t *testing.T) {
+	root := writeFakeSysfs(t, map[int]int{0: 0, 1: 0, 2: 1, 3: 1}, "0-3")
+	topo, _ := detectSysfs(root)
+	p := topo.SingleCluster(5)
+	if p.Clusters != 1 || p.Simulated {
+		t.Fatalf("placement: %+v", p)
+	}
+	// Workers stay inside package 0 and wrap.
+	for w, cpu := range p.CPUOf {
+		if cpu != topo.Packages[0][w%2] {
+			t.Fatalf("worker %d on cpu %d, want package-0 cpu", w, cpu)
+		}
+	}
+}
+
+func TestRoundRobinHardwareClusters(t *testing.T) {
+	root := writeFakeSysfs(t, map[int]int{0: 0, 1: 0, 2: 1, 3: 1}, "0-3")
+	topo, _ := detectSysfs(root)
+	p := topo.RoundRobin(4, 2)
+	if p.Simulated {
+		t.Fatal("should not simulate with 2 packages available")
+	}
+	wantCluster := []int{0, 1, 0, 1}
+	for w := range wantCluster {
+		if p.ClusterOf[w] != wantCluster[w] {
+			t.Fatalf("worker %d cluster = %d, want %d", w, p.ClusterOf[w], wantCluster[w])
+		}
+	}
+	// Worker 0 and 2 must be on package 0's CPUs, 1 and 3 on package 1's.
+	if p.CPUOf[0] != 0 || p.CPUOf[2] != 1 || p.CPUOf[1] != 2 || p.CPUOf[3] != 3 {
+		t.Fatalf("cpu placement: %v", p.CPUOf)
+	}
+}
+
+func TestRoundRobinSimulatedClusters(t *testing.T) {
+	topo := synthetic(2)
+	p := topo.RoundRobin(8, 4)
+	if !p.Simulated {
+		t.Fatal("expected simulated clusters on 1-package topology")
+	}
+	if p.Clusters != 4 {
+		t.Fatalf("Clusters = %d", p.Clusters)
+	}
+	for w := 0; w < 8; w++ {
+		if p.ClusterOf[w] != w%4 {
+			t.Fatalf("worker %d cluster = %d", w, p.ClusterOf[w])
+		}
+		if p.CPUOf[w] != w%2 {
+			t.Fatalf("worker %d cpu = %d", w, p.CPUOf[w])
+		}
+	}
+}
+
+func TestRoundRobinDefaultClusterCount(t *testing.T) {
+	topo := synthetic(4)
+	p := topo.RoundRobin(4, 0)
+	if p.Clusters != 1 || p.Simulated {
+		t.Fatalf("default cluster count: %+v", p)
+	}
+}
+
+func TestPinSelf(t *testing.T) {
+	if !CanPin() {
+		t.Skip("pinning unsupported")
+	}
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
+	if err := PinSelf(0); err != nil {
+		t.Fatalf("PinSelf(0): %v", err)
+	}
+	if err := PinSelf(-1); err == nil {
+		t.Fatal("PinSelf(-1) should fail")
+	}
+	if err := PinSelf(1 << 20); err == nil {
+		t.Fatal("PinSelf(huge) should fail")
+	}
+}

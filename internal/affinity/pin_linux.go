@@ -1,0 +1,27 @@
+//go:build linux
+
+package affinity
+
+import (
+	"fmt"
+	"syscall"
+	"unsafe"
+)
+
+const canPin = true
+
+// pinSelf restricts the calling thread's affinity mask to a single CPU via
+// the raw sched_setaffinity syscall (tid 0 = calling thread).
+func pinSelf(cpu int) error {
+	if cpu < 0 || cpu >= 1024 {
+		return fmt.Errorf("affinity: cpu %d out of supported range", cpu)
+	}
+	var mask [1024 / 64]uint64
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return fmt.Errorf("affinity: sched_setaffinity(cpu %d): %w", cpu, errno)
+	}
+	return nil
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package affinity
+
+const canPin = false
+
+func pinSelf(cpu int) error { return ErrUnsupported }

@@ -1,0 +1,90 @@
+// Package atomic128 provides a 128-bit (double-width) compare-and-swap,
+// the CAS2 primitive of Morrison and Afek's CRQ algorithm.
+//
+// On amd64 the operation is implemented with the LOCK CMPXCHG16B machine
+// instruction, exactly as the paper assumes; the instruction requires its
+// operand to be 16-byte aligned, which the Go compiler does not guarantee
+// for ordinary allocations, so callers must obtain Uint128 cells through
+// AlignedUint128s (or embed them in types allocated via AlignedSlice).
+//
+// On other architectures a striped-spinlock emulation is provided so that
+// the test suite remains portable. The emulation is NOT lock-free; every
+// performance claim in this repository refers to the amd64 path.
+//
+// The CRQ protocol never needs an atomic 128-bit load: it reads the two
+// halves with independent 64-bit loads and relies on the subsequent CAS2 to
+// validate both (see dequeue lines 37-38 of the paper). Lo/Hi accessors are
+// therefore plain 64-bit atomics.
+package atomic128
+
+import (
+	"sync/atomic"
+	"unsafe"
+)
+
+// Uint128 is a 16-byte cell supporting double-width CAS.
+//
+// The zero value is valid. Cells on the CompareAndSwap path must be 16-byte
+// aligned; use AlignedUint128s or AlignedSlice to allocate them.
+type Uint128 struct {
+	lo uint64
+	hi uint64
+}
+
+// LoadLo atomically loads the low 64-bit half.
+func (u *Uint128) LoadLo() uint64 { return atomic.LoadUint64(&u.lo) }
+
+// LoadHi atomically loads the high 64-bit half.
+func (u *Uint128) LoadHi() uint64 { return atomic.LoadUint64(&u.hi) }
+
+// StoreLo atomically stores the low 64-bit half. It must not race with
+// CompareAndSwap on the fallback (non-amd64) implementation; in this
+// repository it is only used while initializing cells that are not yet
+// shared.
+func (u *Uint128) StoreLo(v uint64) { atomic.StoreUint64(&u.lo, v) }
+
+// StoreHi atomically stores the high 64-bit half. Same caveat as StoreLo.
+func (u *Uint128) StoreHi(v uint64) { atomic.StoreUint64(&u.hi, v) }
+
+// CompareAndSwap atomically replaces (lo,hi) with (newLo,newHi) if the cell
+// currently holds exactly (oldLo,oldHi), and reports whether it did.
+func (u *Uint128) CompareAndSwap(oldLo, oldHi, newLo, newHi uint64) bool {
+	return cas128(u, oldLo, oldHi, newLo, newHi)
+}
+
+// Available reports whether the current build uses the native lock-free
+// CMPXCHG16B implementation (true on amd64) rather than the spinlock
+// emulation.
+func Available() bool { return native }
+
+const alignment = 16
+
+// AlignedUint128s returns a slice of n Uint128 cells whose base address is
+// 16-byte aligned, making every element safe for CompareAndSwap.
+func AlignedUint128s(n int) []Uint128 {
+	return AlignedSlice[Uint128](n)
+}
+
+// AlignedSlice returns a slice of n elements of type T whose base address is
+// 16-byte aligned. The element type's size must be a multiple of 16 bytes so
+// that alignment of the base implies alignment of every element; AlignedSlice
+// panics otherwise.
+//
+// T must not contain pointer fields: the backing storage is allocated as a
+// byte slab, which the garbage collector scans as pointerless memory.
+func AlignedSlice[T any](n int) []T {
+	var zero T
+	size := unsafe.Sizeof(zero)
+	if size == 0 || size%alignment != 0 {
+		panic("atomic128: element size must be a non-zero multiple of 16")
+	}
+	if n <= 0 {
+		panic("atomic128: non-positive slice length")
+	}
+	buf := make([]byte, uintptr(n)*size+alignment)
+	p := uintptr(unsafe.Pointer(unsafe.SliceData(buf)))
+	off := (alignment - p%alignment) % alignment
+	// A pointer to an interior element keeps the whole backing array live,
+	// so the returned slice alone is sufficient to retain buf.
+	return unsafe.Slice((*T)(unsafe.Pointer(unsafe.SliceData(buf[off:]))), n)
+}

@@ -1,0 +1,169 @@
+package atomic128
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func TestAlignedUint128sAlignment(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64, 1023} {
+		s := AlignedUint128s(n)
+		if len(s) != n {
+			t.Fatalf("len = %d, want %d", len(s), n)
+		}
+		for i := range s {
+			p := uintptr(unsafe.Pointer(&s[i]))
+			if p%16 != 0 {
+				t.Fatalf("element %d at %#x not 16-byte aligned", i, p)
+			}
+		}
+	}
+}
+
+func TestAlignedSlicePanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("odd size", func() { AlignedSlice[[24]byte](4) })
+	mustPanic("zero size", func() { AlignedSlice[struct{}](4) })
+	mustPanic("zero len", func() { AlignedSlice[Uint128](0) })
+	mustPanic("negative len", func() { AlignedSlice[Uint128](-1) })
+}
+
+func TestAlignedSlicePaddedElements(t *testing.T) {
+	type padded struct {
+		c Uint128
+		_ [112]byte
+	}
+	s := AlignedSlice[padded](33)
+	for i := range s {
+		p := uintptr(unsafe.Pointer(&s[i].c))
+		if p%16 != 0 {
+			t.Fatalf("cell %d at %#x not aligned", i, p)
+		}
+	}
+	// The cells must be usable.
+	if !s[32].c.CompareAndSwap(0, 0, 1, 2) {
+		t.Fatal("CAS on zero cell failed")
+	}
+	if s[32].c.LoadLo() != 1 || s[32].c.LoadHi() != 2 {
+		t.Fatal("CAS did not store")
+	}
+}
+
+func TestCompareAndSwapBasic(t *testing.T) {
+	s := AlignedUint128s(1)
+	c := &s[0]
+	if got := c.LoadLo(); got != 0 {
+		t.Fatalf("initial lo = %d", got)
+	}
+	if !c.CompareAndSwap(0, 0, 10, 20) {
+		t.Fatal("CAS from zero state failed")
+	}
+	if c.CompareAndSwap(0, 0, 99, 99) {
+		t.Fatal("CAS with stale expectation succeeded")
+	}
+	if c.CompareAndSwap(10, 21, 99, 99) {
+		t.Fatal("CAS with wrong hi succeeded")
+	}
+	if c.CompareAndSwap(11, 20, 99, 99) {
+		t.Fatal("CAS with wrong lo succeeded")
+	}
+	if !c.CompareAndSwap(10, 20, 30, 40) {
+		t.Fatal("CAS with correct expectation failed")
+	}
+	if c.LoadLo() != 30 || c.LoadHi() != 40 {
+		t.Fatalf("state = (%d,%d), want (30,40)", c.LoadLo(), c.LoadHi())
+	}
+}
+
+func TestCompareAndSwapQuick(t *testing.T) {
+	s := AlignedUint128s(1)
+	c := &s[0]
+	// Property: a CAS succeeds iff the expectation matches the current
+	// state, and on success the new state is fully installed.
+	f := func(oldLo, oldHi, newLo, newHi uint64) bool {
+		curLo, curHi := c.LoadLo(), c.LoadHi()
+		ok := c.CompareAndSwap(oldLo, oldHi, newLo, newHi)
+		want := oldLo == curLo && oldHi == curHi
+		if ok != want {
+			return false
+		}
+		if ok {
+			return c.LoadLo() == newLo && c.LoadHi() == newHi
+		}
+		return c.LoadLo() == curLo && c.LoadHi() == curHi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareAndSwapAtomicityStress verifies that concurrent CAS2s never
+// observe or produce a torn pair. Each worker repeatedly moves the cell from
+// (v, ^v) to (v+1, ^(v+1)); any interleaving bug would strand the cell in a
+// state where hi is not the complement of lo.
+func TestCompareAndSwapAtomicityStress(t *testing.T) {
+	s := AlignedUint128s(1)
+	c := &s[0]
+	c.StoreLo(0)
+	c.StoreHi(^uint64(0))
+
+	workers := 8
+	iters := 20000
+	if testing.Short() {
+		iters = 2000
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for {
+					lo := c.LoadLo()
+					hi := c.LoadHi()
+					if hi != ^lo {
+						// The two loads are independent; a torn read here
+						// just means we raced, retry on a consistent pair.
+						continue
+					}
+					if c.CompareAndSwap(lo, hi, lo+1, ^(lo + 1)) {
+						break
+					}
+				}
+			}
+			runtime.KeepAlive(c)
+		}()
+	}
+	wg.Wait()
+	lo, hi := c.LoadLo(), c.LoadHi()
+	if lo != uint64(workers*iters) {
+		t.Fatalf("lost increments: lo = %d, want %d", lo, workers*iters)
+	}
+	if hi != ^lo {
+		t.Fatalf("torn final state: (%#x, %#x)", lo, hi)
+	}
+}
+
+func BenchmarkCAS2Uncontended(b *testing.B) {
+	s := AlignedUint128s(1)
+	c := &s[0]
+	var lo uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !c.CompareAndSwap(lo, 0, lo+1, 0) {
+			b.Fatal("unexpected CAS failure")
+		}
+		lo++
+	}
+}

@@ -1,0 +1,14 @@
+//go:build amd64 && !purego && !race
+
+package atomic128
+
+// native reports that this build issues LOCK CMPXCHG16B directly.
+// CMPXCHG16B is present on every 64-bit x86 processor manufactured since
+// roughly 2006 (it is part of the x86-64-v2 baseline); like the paper we
+// assume it without a CPUID probe.
+const native = true
+
+// cas128 is implemented in cas_amd64.s.
+//
+//go:noescape
+func cas128(addr *Uint128, oldLo, oldHi, newLo, newHi uint64) bool

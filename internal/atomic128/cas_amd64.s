@@ -1,0 +1,19 @@
+//go:build amd64 && !purego && !race
+
+#include "textflag.h"
+
+// func cas128(addr *Uint128, oldLo, oldHi, newLo, newHi uint64) bool
+//
+// CMPXCHG16B compares RDX:RAX against the 16-byte operand; on match it
+// stores RCX:RBX and sets ZF. The operand must be 16-byte aligned or the
+// instruction raises #GP, hence the aligned allocators in this package.
+TEXT ·cas128(SB), NOSPLIT, $0-41
+	MOVQ	addr+0(FP), DI
+	MOVQ	oldLo+8(FP), AX
+	MOVQ	oldHi+16(FP), DX
+	MOVQ	newLo+24(FP), BX
+	MOVQ	newHi+32(FP), CX
+	LOCK
+	CMPXCHG16B	(DI)
+	SETEQ	ret+40(FP)
+	RET

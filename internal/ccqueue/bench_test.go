@@ -1,0 +1,46 @@
+package ccqueue
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func BenchmarkCCQueueSequential(b *testing.B) {
+	q := New(0)
+	h := q.NewHandle()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(h, uint64(i))
+		q.Dequeue(h)
+	}
+}
+
+func BenchmarkCCQueueParallel(b *testing.B) {
+	q := New(0)
+	var ids atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		h := q.NewHandle()
+		v := ids.Add(1) << 32
+		for pb.Next() {
+			v++
+			q.Enqueue(h, v)
+			q.Dequeue(h)
+		}
+	})
+}
+
+func BenchmarkHQueueParallel(b *testing.B) {
+	q := NewH(2, 0)
+	var ids atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		h := q.NewHandle()
+		id := ids.Add(1)
+		cluster := int(id % 2)
+		v := id << 32
+		for pb.Next() {
+			v++
+			q.Enqueue(h, cluster, v)
+			q.Dequeue(h, cluster)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+// Package ccqueue implements Fatourou and Kallimanis' CC-Queue and H-Queue
+// (PPoPP 2012): Michael and Scott's two-lock queue with each lock replaced
+// by a combining construction from internal/ccsynch. The enqueue instance
+// and the dequeue instance combine in parallel — one serializes the tail
+// side, the other the head side — which is why CC-Queue outperforms
+// single-lock flat combining.
+package ccqueue
+
+import (
+	"sync/atomic"
+
+	"lcrq/internal/ccsynch"
+	"lcrq/internal/pad"
+)
+
+// Handle is the per-thread context (a ccsynch handle plus cluster id).
+type Handle = ccsynch.Handle
+
+// node is a link of the internal list queue. next is atomic because an
+// enqueue-side link store races with the dequeue-side empty check; values
+// are plain, ordered by the atomic link (exactly as in the two-lock queue).
+type node struct {
+	v    uint64
+	next atomic.Pointer[node]
+}
+
+// list is the sequential two-ended queue protected by the combiners: the
+// enqueue combiner is the only mutator of tail, the dequeue combiner the
+// only mutator of head.
+type list struct {
+	head *node
+	_    pad.Line
+	tail *node
+	_    pad.Line
+}
+
+func newList() *list {
+	d := &node{}
+	return &list{head: d, tail: d}
+}
+
+func (l *list) enq(v uint64) (uint64, bool) {
+	n := &node{v: v}
+	l.tail.next.Store(n)
+	l.tail = n
+	return 0, true
+}
+
+func (l *list) deq(uint64) (uint64, bool) {
+	next := l.head.next.Load()
+	if next == nil {
+		return 0, false
+	}
+	l.head = next
+	return next.v, true
+}
+
+// Queue is the CC-Queue.
+type Queue struct {
+	l   *list
+	enq *ccsynch.Synch
+	deq *ccsynch.Synch
+}
+
+// New returns an empty CC-Queue. bound ≤ 0 selects the ccsynch default.
+func New(bound int) *Queue {
+	l := newList()
+	return &Queue{
+		l:   l,
+		enq: ccsynch.New(l.enq, bound),
+		deq: ccsynch.New(l.deq, bound),
+	}
+}
+
+// NewHandle returns a per-thread handle.
+func (q *Queue) NewHandle() *Handle { return ccsynch.NewHandle() }
+
+// Enqueue appends v.
+func (q *Queue) Enqueue(h *Handle, v uint64) {
+	q.enq.Apply(h, v)
+	h.C.Enqueues++
+}
+
+// Dequeue removes and returns the oldest value; ok is false when empty.
+func (q *Queue) Dequeue(h *Handle) (v uint64, ok bool) {
+	v, ok = q.deq.Apply(h, 0)
+	h.C.Dequeues++
+	if !ok {
+		h.C.Empty++
+	}
+	return v, ok
+}
+
+// HQueue is the H-Queue: the same list protected by H-Synch instances, so
+// operations combine per cluster and clusters take turns under a global
+// lock per side.
+type HQueue struct {
+	l   *list
+	enq *ccsynch.HSynch
+	deq *ccsynch.HSynch
+}
+
+// NewH returns an empty H-Queue for the given cluster count.
+func NewH(clusters, bound int) *HQueue {
+	l := newList()
+	return &HQueue{
+		l:   l,
+		enq: ccsynch.NewH(l.enq, clusters, bound),
+		deq: ccsynch.NewH(l.deq, clusters, bound),
+	}
+}
+
+// NewHandle returns a per-thread handle.
+func (q *HQueue) NewHandle() *Handle { return ccsynch.NewHandle() }
+
+// Enqueue appends v on behalf of a thread in the given cluster.
+func (q *HQueue) Enqueue(h *Handle, cluster int, v uint64) {
+	q.enq.Apply(h, cluster, v)
+	h.C.Enqueues++
+}
+
+// Dequeue removes the oldest value on behalf of a thread in the given
+// cluster.
+func (q *HQueue) Dequeue(h *Handle, cluster int) (v uint64, ok bool) {
+	v, ok = q.deq.Apply(h, cluster, 0)
+	h.C.Dequeues++
+	if !ok {
+		h.C.Empty++
+	}
+	return v, ok
+}

@@ -1,0 +1,191 @@
+package ccqueue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestCCQueueSequentialFIFO(t *testing.T) {
+	q := New(0)
+	h := q.NewHandle()
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("fresh queue not empty")
+	}
+	for i := uint64(0); i < 200; i++ {
+		q.Enqueue(h, i)
+	}
+	for i := uint64(0); i < 200; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("got (%d,%v), want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("should be empty")
+	}
+}
+
+func TestHQueueSequentialFIFO(t *testing.T) {
+	q := NewH(4, 0)
+	h := q.NewHandle()
+	for i := uint64(0); i < 200; i++ {
+		q.Enqueue(h, int(i%4), i)
+	}
+	for i := uint64(0); i < 200; i++ {
+		v, ok := q.Dequeue(h, int(i%4))
+		if !ok || v != i {
+			t.Fatalf("got (%d,%v), want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(h, 0); ok {
+		t.Fatal("should be empty")
+	}
+}
+
+func TestCCQueueModel(t *testing.T) {
+	f := func(ops []byte) bool {
+		q := New(0)
+		h := q.NewHandle()
+		var model []uint64
+		next := uint64(1)
+		for _, op := range ops {
+			if op%2 == 0 {
+				q.Enqueue(h, next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := q.Dequeue(h)
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else if !ok || v != model[0] {
+					return false
+				} else {
+					model = model[1:]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func concurrentCheck(t *testing.T, newHandle func() *Handle, enq func(h *Handle, w int, v uint64), deq func(h *Handle, w int) (uint64, bool)) {
+	t.Helper()
+	const producers, consumers, per = 4, 4, 2500
+	var wg sync.WaitGroup
+	var count atomic.Int64
+	seen := make([][]uint64, consumers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := newHandle()
+			for i := 0; i < per; i++ {
+				enq(h, p, uint64(p)<<32|uint64(i))
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h := newHandle()
+			for count.Load() < producers*per {
+				if v, ok := deq(h, c); ok {
+					seen[c] = append(seen[c], v)
+					count.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	all := map[uint64]int{}
+	for _, s := range seen {
+		for _, v := range s {
+			all[v]++
+		}
+	}
+	if len(all) != producers*per {
+		t.Fatalf("distinct = %d, want %d", len(all), producers*per)
+	}
+	for v, n := range all {
+		if n != 1 {
+			t.Fatalf("value %#x seen %d times", v, n)
+		}
+	}
+	for c, s := range seen {
+		last := map[uint64]int64{}
+		for _, v := range s {
+			p, i := v>>32, int64(v&0xffffffff)
+			if prev, ok := last[p]; ok && i <= prev {
+				t.Fatalf("consumer %d: producer %d out of order", c, p)
+			}
+			last[p] = i
+		}
+	}
+}
+
+func TestCCQueueConcurrent(t *testing.T) {
+	q := New(0)
+	concurrentCheck(t, q.NewHandle,
+		func(h *Handle, w int, v uint64) { q.Enqueue(h, v) },
+		func(h *Handle, w int) (uint64, bool) { return q.Dequeue(h) })
+}
+
+func TestHQueueConcurrent(t *testing.T) {
+	q := NewH(2, 0)
+	concurrentCheck(t, q.NewHandle,
+		func(h *Handle, w int, v uint64) { q.Enqueue(h, w%2, v) },
+		func(h *Handle, w int) (uint64, bool) { return q.Dequeue(h, w%2) })
+}
+
+func TestCCQueueEmptyCounter(t *testing.T) {
+	q := New(0)
+	h := q.NewHandle()
+	q.Dequeue(h)
+	q.Dequeue(h)
+	if h.C.Empty != 2 || h.C.Dequeues != 2 {
+		t.Fatalf("counters: %+v", h.C)
+	}
+}
+
+// TestCCQueueParallelSides verifies the design point that enqueue and
+// dequeue combiners operate concurrently: with a non-empty queue, a
+// dequeue-side op never needs to wait for enqueue-side combining, so
+// alternating single-threaded ops across both sides always see FIFO
+// behaviour.
+func TestCCQueueParallelSides(t *testing.T) {
+	q := New(0)
+	var wg sync.WaitGroup
+	const n = 5000
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		h := q.NewHandle()
+		for i := uint64(0); i < n; i++ {
+			q.Enqueue(h, i)
+		}
+	}()
+	var got []uint64
+	go func() {
+		defer wg.Done()
+		h := q.NewHandle()
+		for uint64(len(got)) < n {
+			if v, ok := q.Dequeue(h); ok {
+				got = append(got, v)
+			}
+		}
+	}()
+	wg.Wait()
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package ccsynch
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func BenchmarkApplySequential(b *testing.B) {
+	var counter uint64
+	s := New(func(uint64) (uint64, bool) {
+		counter++
+		return counter, true
+	}, 0)
+	h := NewHandle()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Apply(h, 1)
+	}
+}
+
+func BenchmarkApplyParallel(b *testing.B) {
+	var counter uint64
+	s := New(func(uint64) (uint64, bool) {
+		counter++
+		return counter, true
+	}, 0)
+	b.RunParallel(func(pb *testing.PB) {
+		h := NewHandle()
+		for pb.Next() {
+			s.Apply(h, 1)
+		}
+	})
+}
+
+func BenchmarkHSynchParallel(b *testing.B) {
+	var counter uint64
+	hs := NewH(func(uint64) (uint64, bool) {
+		counter++
+		return counter, true
+	}, 2, 0)
+	var ids atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		h := NewHandle()
+		cluster := int(ids.Add(1) % 2)
+		for pb.Next() {
+			hs.Apply(h, cluster, 1)
+		}
+	})
+}

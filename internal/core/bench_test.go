@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func BenchmarkCRQSequential(b *testing.B) {
+	q := NewCRQ(Config{RingOrder: 16})
+	h := NewHandle()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !q.Enqueue(h, uint64(i)+1) {
+			b.Fatal("ring closed")
+		}
+		q.Dequeue(h)
+	}
+}
+
+func BenchmarkLCRQSequential(b *testing.B) {
+	q := NewLCRQ(Config{})
+	h := q.NewHandle()
+	defer h.Release()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(h, uint64(i)+1)
+		q.Dequeue(h)
+	}
+}
+
+func BenchmarkLCRQParallel(b *testing.B) {
+	q := NewLCRQ(Config{})
+	var ids atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		h := q.NewHandle()
+		defer h.Release()
+		v := ids.Add(1) << 32
+		for pb.Next() {
+			v++
+			q.Enqueue(h, v)
+			q.Dequeue(h)
+		}
+	})
+}
+
+// BenchmarkLCRQSegmentChurn measures the append/retire/recycle path with a
+// tiny ring that closes constantly.
+func BenchmarkLCRQSegmentChurn(b *testing.B) {
+	q := NewLCRQ(Config{RingOrder: 2})
+	h := q.NewHandle()
+	defer h.Release()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := uint64(0); j < 8; j++ {
+			q.Enqueue(h, uint64(i)*8+j+1)
+		}
+		for j := 0; j < 8; j++ {
+			q.Dequeue(h)
+		}
+	}
+}
+
+func BenchmarkIAQSequential(b *testing.B) {
+	q := NewIAQ(b.N + 1)
+	h := NewHandle()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(h, uint64(i)+1)
+		q.Dequeue(h)
+	}
+}

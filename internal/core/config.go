@@ -1,0 +1,148 @@
+package core
+
+import "time"
+
+// Bottom is the reserved value that cannot be enqueued: it encodes the empty
+// cell (⊥) in the ring. The public API's typed facade removes the
+// restriction for end users.
+const Bottom = ^uint64(0)
+
+// Default tuning values. See Config.
+const (
+	DefaultRingOrder       = 12 // R = 4096 cells
+	DefaultStarvationLimit = 64
+	DefaultSpinWait        = 64
+	DefaultClusterTimeout  = 100 * time.Microsecond
+	// MaxRingOrder keeps index arithmetic (idx+R) comfortably inside the
+	// 63-bit index field. The paper's largest evaluated ring is 2^17.
+	MaxRingOrder = 26
+)
+
+// Reclamation selects how retired CRQ rings are protected and reclaimed.
+type Reclamation int
+
+const (
+	// ReclaimHazard is the paper-faithful default: hazard pointers protect
+	// the ring an operation works in, and retired rings are recycled once
+	// unprotected. Per-operation cost: one pointer publication plus a
+	// revalidating reread (§5 footnote 6 of the paper).
+	ReclaimHazard Reclamation = iota
+	// ReclaimEpoch uses epoch-based reclamation: one pin/unpin pair per
+	// operation, cheaper than hazard publication, but a stalled thread
+	// delays all reclamation. Rings are still recycled.
+	ReclaimEpoch
+	// ReclaimGC relies entirely on Go's garbage collector: zero
+	// per-operation overhead, no recycling (each appended ring is a fresh
+	// allocation). Unavailable to the paper's C implementation.
+	ReclaimGC
+)
+
+// String returns the mode name used in benchmarks and docs.
+func (r Reclamation) String() string {
+	switch r {
+	case ReclaimEpoch:
+		return "epoch"
+	case ReclaimGC:
+		return "gc"
+	default:
+		return "hazard"
+	}
+}
+
+// Config tunes the CRQ and LCRQ algorithms. The zero value selects the
+// defaults above. Config values are plumbed unexported through queues after
+// normalization, so a Config can be reused and modified freely by callers.
+type Config struct {
+	// RingOrder is log2 of the ring size R. The paper's evaluation uses
+	// 2^17; its sensitivity study (Figure 9) shows R ≥ 32 already wins on a
+	// single processor. 0 selects DefaultRingOrder.
+	RingOrder int
+
+	// Padded pads each ring cell to 128 bytes (a false-sharing range) as in
+	// Figure 3a. Unpadded cells pack eight per cache line, trading false
+	// sharing for footprint; the ablation bench quantifies the difference.
+	// The default (zero value) is padded; set NoPadding to disable.
+	NoPadding bool
+
+	// StarvationLimit is how many failed enqueue attempts (F&As) the
+	// starving() predicate tolerates before closing the ring. 0 selects
+	// DefaultStarvationLimit.
+	StarvationLimit int
+
+	// SpinWait bounds the dequeuer's wait for a matching active enqueuer
+	// before it performs an empty transition (§4.1.1, "bounded waiting for
+	// matching enqueues"). 0 selects DefaultSpinWait; negative disables the
+	// optimization.
+	SpinWait int
+
+	// CASLoopFAA emulates every head/tail fetch-and-add with a CAS loop,
+	// producing the paper's LCRQ-CAS comparison point.
+	CASLoopFAA bool
+
+	// Hierarchical enables the LCRQ+H cluster-batching optimization: an
+	// operation arriving from a different cluster than the ring's current
+	// one waits up to ClusterTimeout before barging in.
+	Hierarchical bool
+
+	// ClusterTimeout is the LCRQ+H wait bound. 0 selects
+	// DefaultClusterTimeout (the paper evaluates 100 µs).
+	ClusterTimeout time.Duration
+
+	// NoRecycle disables hazard-pointer-based ring recycling, letting the
+	// garbage collector reclaim retired CRQs instead. Recycling is on by
+	// default to keep ring allocation off the enqueue path.
+	NoRecycle bool
+
+	// NoHazard removes hazard pointers from the operation path entirely.
+	// In the paper's C setting this would be a use-after-free; under Go's
+	// garbage collector it is safe, and the option exists to measure what
+	// the paper-faithful hazard-pointer publication (store + fence +
+	// revalidate, §5 footnote 6) costs per operation. NoHazard implies
+	// NoRecycle, since recycling is exactly what requires reclamation
+	// safety. Equivalent to Reclamation: ReclaimGC.
+	NoHazard bool
+
+	// Reclamation selects the safe-memory-reclamation scheme; see the
+	// Reclamation constants. The zero value is the paper-faithful
+	// ReclaimHazard. Setting NoHazard forces ReclaimGC.
+	Reclamation Reclamation
+}
+
+// normalized returns c with defaults applied and bounds enforced.
+func (c Config) normalized() Config {
+	if c.RingOrder == 0 {
+		c.RingOrder = DefaultRingOrder
+	}
+	if c.RingOrder < 1 {
+		c.RingOrder = 1
+	}
+	if c.RingOrder > MaxRingOrder {
+		c.RingOrder = MaxRingOrder
+	}
+	if c.StarvationLimit == 0 {
+		c.StarvationLimit = DefaultStarvationLimit
+	}
+	if c.StarvationLimit < 1 {
+		c.StarvationLimit = 1
+	}
+	if c.SpinWait == 0 {
+		c.SpinWait = DefaultSpinWait
+	}
+	if c.SpinWait < 0 {
+		c.SpinWait = 0
+	}
+	if c.ClusterTimeout == 0 {
+		c.ClusterTimeout = DefaultClusterTimeout
+	}
+	if c.NoHazard {
+		c.Reclamation = ReclaimGC
+	}
+	if c.Reclamation == ReclaimGC {
+		c.NoHazard = true
+		c.NoRecycle = true
+	}
+	return c
+}
+
+// RingSize returns the number of cells R implied by the configuration.
+func (c Config) RingSize() int { return 1 << c.normalized().RingOrder }

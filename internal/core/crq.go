@@ -1,0 +1,279 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"lcrq/internal/atomic128"
+	"lcrq/internal/pad"
+)
+
+// Physical cell encoding (see package documentation):
+//
+//	lo word: bit 63 = unsafe flag (0 = safe), bits 0..62 = index
+//	hi word: ^value; physical 0 encodes ⊥
+const (
+	unsafeFlag = uint64(1) << 63
+	idxMask    = unsafeFlag - 1
+	// closedBit is the most significant bit of the CRQ tail (Figure 3a).
+	closedBit = uint64(1) << 63
+)
+
+// CRQ is the concurrent ring queue of Figure 3: a bounded, linearizable
+// tantrum queue. Enqueue returns false once the ring has been closed; LCRQ
+// builds an unbounded queue by chaining CRQs.
+//
+// A CRQ must be created with NewCRQ.
+type CRQ struct {
+	head atomic.Uint64
+	_    pad.Pad
+	tail atomic.Uint64 // bit 63 = CLOSED
+	_    pad.Pad
+	next atomic.Pointer[CRQ]
+	_    pad.Pad
+	// cluster is the LCRQ+H batching hint: the cluster whose operations
+	// currently "own" the ring.
+	cluster atomic.Int64
+	_       pad.Pad
+
+	// The ring. Cell i lives at slab[(i&mask)<<strideShift]; strideShift is
+	// 3 for padded cells (8 × 16 B = one false-sharing range) and 0 for
+	// packed cells.
+	slab        []atomic128.Uint128
+	mask        uint64
+	size        uint64
+	strideShift uint
+
+	cfg Config
+}
+
+// NewCRQ returns an empty ring configured by cfg.
+func NewCRQ(cfg Config) *CRQ {
+	cfg = cfg.normalized()
+	q := &CRQ{cfg: cfg}
+	q.size = uint64(1) << cfg.RingOrder
+	q.mask = q.size - 1
+	if cfg.NoPadding {
+		q.strideShift = 0
+	} else {
+		q.strideShift = 3
+	}
+	// The all-zero cell is the initial state (safe, index 0, ⊥), so the
+	// freshly zeroed slab needs no initialization loop.
+	q.slab = atomic128.AlignedUint128s(int(q.size) << q.strideShift)
+	return q
+}
+
+func (q *CRQ) cell(i uint64) *atomic128.Uint128 {
+	return &q.slab[(i&q.mask)<<q.strideShift]
+}
+
+// reset returns a drained ring to its initial empty state so it can be
+// reused. It must only be called when no other thread can access the ring
+// (i.e. after hazard-pointer reclamation).
+func (q *CRQ) reset() {
+	clear(q.slab)
+	q.head.Store(0)
+	q.tail.Store(0)
+	q.next.Store(nil)
+	q.cluster.Store(0)
+}
+
+// seed installs v as the ring's only element. Like reset it requires
+// exclusive access; LCRQ uses it to build "a new CRQ initialized to contain
+// x" (Figure 5c, line 162).
+func (q *CRQ) seed(v uint64) {
+	c := q.cell(0)
+	c.StoreLo(0)  // safe, index 0
+	c.StoreHi(^v) // value v
+	q.tail.Store(1)
+}
+
+// Size returns the ring capacity R.
+func (q *CRQ) Size() int { return int(q.size) }
+
+// Closed reports whether the ring has been closed to further enqueues.
+func (q *CRQ) Closed() bool { return q.tail.Load()&closedBit != 0 }
+
+// close sets the CLOSED bit with a test-and-set (the paper uses LOCK BTS;
+// an atomic OR of a single bit is the identical x86 idiom).
+func (q *CRQ) closeRing(h *Handle) {
+	h.C.TAS++
+	h.C.Closes++
+	q.tail.Or(closedBit)
+}
+
+// faaHead performs F&A(&head, 1), or its CAS-loop emulation in the
+// LCRQ-CAS variant.
+func (q *CRQ) faaHead(h *Handle) uint64 {
+	if q.cfg.CASLoopFAA {
+		for {
+			old := q.head.Load()
+			h.C.CAS++
+			if q.head.CompareAndSwap(old, old+1) {
+				return old
+			}
+			h.C.CASFail++
+		}
+	}
+	h.C.FAA++
+	return q.head.Add(1) - 1
+}
+
+// faaTail performs F&A(&tail, 1) on all 64 bits (the closed bit rides
+// along, exactly as in Figure 3d line 84).
+func (q *CRQ) faaTail(h *Handle) uint64 {
+	if q.cfg.CASLoopFAA {
+		for {
+			old := q.tail.Load()
+			h.C.CAS++
+			if q.tail.CompareAndSwap(old, old+1) {
+				return old
+			}
+			h.C.CASFail++
+		}
+	}
+	h.C.FAA++
+	return q.tail.Add(1) - 1
+}
+
+// Enqueue attempts to append v to the ring. It returns false if the ring is
+// (or becomes) CLOSED, in which case v was not enqueued. v must not be
+// Bottom.
+//
+// This is Figure 3d. The enqueue transition (s,k,⊥) → (1,t,v) is attempted
+// when the cell is empty, its index does not exceed ours, and either the
+// cell is safe or the matching dequeuer provably has not started
+// (head ≤ t). On failure the ring is closed if it appears full
+// (t − head ≥ R) or the thread is starving.
+func (q *CRQ) Enqueue(h *Handle, v uint64) bool {
+	if v == Bottom {
+		panic("core: enqueue of reserved value Bottom")
+	}
+	tries := 0
+	for {
+		tc := q.faaTail(h)
+		if tc&closedBit != 0 {
+			return false
+		}
+		t := tc
+		cell := q.cell(t)
+
+		hi := cell.LoadHi()
+		lo := cell.LoadLo()
+		idx := lo & idxMask
+		safe := lo&unsafeFlag == 0
+
+		if hi == 0 { // value is ⊥
+			if idx <= t && (safe || q.head.Load() <= t) {
+				h.C.CAS2++
+				// (s, idx, ⊥) → (1, t, v): new lo = t with unsafe flag
+				// cleared, new hi = ^v.
+				if cell.CompareAndSwap(lo, 0, t, ^v) {
+					return true
+				}
+				h.C.CAS2Fail++
+			}
+		}
+
+		hd := q.head.Load()
+		tries++
+		if int64(t-hd) >= int64(q.size) || tries >= q.cfg.StarvationLimit {
+			q.closeRing(h)
+			return false
+		}
+		h.C.CellRetries++
+	}
+}
+
+// Dequeue removes and returns the oldest value in the ring. ok is false if
+// the ring is empty (head has caught up with tail).
+//
+// This is Figure 3b plus the bounded-wait optimization of §4.1.1: before
+// poisoning a cell with an empty transition, the dequeuer gives an active
+// matching enqueuer (evidenced by tail > h) a bounded spin to deposit its
+// value, avoiding a pointless retry by both parties.
+func (q *CRQ) Dequeue(h *Handle) (v uint64, ok bool) {
+	for {
+		hIdx := q.faaHead(h)
+		cell := q.cell(hIdx)
+		spins := q.cfg.SpinWait
+
+	cellLoop:
+		for {
+			hi := cell.LoadHi()
+			lo := cell.LoadLo()
+			idx := lo & idxMask
+			unsafeBit := lo & unsafeFlag
+
+			if idx > hIdx {
+				break cellLoop // overtaken: someone moved the cell past us
+			}
+			if hi != 0 { // cell holds a value
+				if idx == hIdx {
+					// Dequeue transition (s, h, v) → (s, h+R, ⊥).
+					h.C.CAS2++
+					if cell.CompareAndSwap(lo, hi, unsafeBit|(hIdx+q.size), 0) {
+						return ^hi, true
+					}
+					h.C.CAS2Fail++
+				} else {
+					// We arrived a lap early: unsafe transition
+					// (s, k, v) → (0, k, v).
+					h.C.CAS2++
+					if cell.CompareAndSwap(lo, hi, unsafeFlag|idx, hi) {
+						h.C.UnsafeTrans++
+						break cellLoop
+					}
+					h.C.CAS2Fail++
+				}
+			} else {
+				// Empty cell. If the matching enqueuer is active (its F&A
+				// has been handed out: tail > h), give it a bounded chance.
+				if spins > 0 && q.tail.Load()&^closedBit > hIdx {
+					spins--
+					h.C.SpinWaits++
+					continue cellLoop
+				}
+				// Empty transition (s, k, ⊥) → (s, h+R, ⊥).
+				h.C.CAS2++
+				if cell.CompareAndSwap(lo, 0, unsafeBit|(hIdx+q.size), 0) {
+					h.C.EmptyTrans++
+					break cellLoop
+				}
+				h.C.CAS2Fail++
+			}
+		}
+
+		// Failed to dequeue at hIdx: return EMPTY if the ring has no more
+		// items, otherwise take a fresh index.
+		t := q.tail.Load() &^ closedBit
+		if t <= hIdx+1 {
+			q.fixState(h)
+			return Bottom, false
+		}
+		h.C.CellRetries++
+	}
+}
+
+// fixState repairs the transient head > tail state a dequeuer's F&A can
+// create (Figure 3c), so that a subsequent enqueuer does not spuriously
+// observe a full ring. The comparison uses the full 64-bit tail: once the
+// ring is closed the state no longer needs fixing, and head (< 2^63) can
+// never exceed a closed tail.
+func (q *CRQ) fixState(h *Handle) {
+	for {
+		t := q.tail.Load()
+		hd := q.head.Load()
+		if q.tail.Load() != t {
+			continue // tail moved between the two loads; retry
+		}
+		if hd <= t {
+			return // nothing to fix
+		}
+		h.C.CAS++
+		if q.tail.CompareAndSwap(t, hd) {
+			return
+		}
+		h.C.CASFail++
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"lcrq/internal/epoch"
+	"lcrq/internal/hazard"
+	"lcrq/internal/instrument"
+)
+
+// Hazard-pointer slot assignments within a handle.
+const (
+	hpHead  = iota // protects the CRQ a dequeue works in
+	hpTail         // protects the CRQ an enqueue works in
+	hpSlots        // total slots per record
+)
+
+// Handle is a per-thread context for queue operations. Each worker thread
+// (goroutine) must use its own Handle; a Handle must never be used
+// concurrently. Handles carry the thread's hazard-pointer record, its
+// cluster identity for the hierarchical variant, and the instrumentation
+// counters for Tables 2 and 3.
+type Handle struct {
+	// C accumulates this thread's operation statistics. Reading it is only
+	// meaningful while the handle is quiescent.
+	C instrument.Counters
+
+	// Cluster is the thread's cluster (processor package) id, used by the
+	// LCRQ+H variant. The harness assigns it from the placement policy;
+	// standalone users can leave it 0.
+	Cluster int64
+
+	hp    *hazard.Record[CRQ] // non-nil in ReclaimHazard mode
+	ep    *epoch.Record[CRQ]  // non-nil in ReclaimEpoch mode
+	owner *LCRQ
+}
+
+// Release returns the handle's reclamation record to its queue's domain.
+// The handle must not be used afterwards.
+func (h *Handle) Release() {
+	if h.hp != nil {
+		h.hp.Release()
+		h.hp = nil
+	}
+	if h.ep != nil {
+		h.ep.Release()
+		h.ep = nil
+	}
+	h.owner = nil
+}
+
+// NewHandle returns a detached handle suitable for standalone CRQ use and
+// for tests. Handles used with an LCRQ must come from (*LCRQ).NewHandle.
+func NewHandle() *Handle { return &Handle{} }

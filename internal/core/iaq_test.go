@@ -1,0 +1,161 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestIAQSequentialFIFO(t *testing.T) {
+	q := NewIAQ(64)
+	h := NewHandle()
+	for i := uint64(0); i < 10; i++ {
+		if !q.Enqueue(h, i+1) {
+			t.Fatal("capacity exhausted too early")
+		}
+	}
+	for i := uint64(0); i < 10; i++ {
+		if v, ok := q.Dequeue(h); !ok || v != i+1 {
+			t.Fatalf("got (%d,%v), want %d", v, ok, i+1)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("empty queue returned value")
+	}
+}
+
+func TestIAQCapacityExhaustion(t *testing.T) {
+	q := NewIAQ(4)
+	h := NewHandle()
+	for i := uint64(0); i < 4; i++ {
+		if !q.Enqueue(h, i+1) {
+			t.Fatal("premature exhaustion")
+		}
+	}
+	if q.Enqueue(h, 99) {
+		t.Fatal("enqueue beyond capacity succeeded")
+	}
+	for i := uint64(0); i < 4; i++ {
+		if v, ok := q.Dequeue(h); !ok || v != i+1 {
+			t.Fatalf("got (%d,%v)", v, ok)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("exhausted queue returned value")
+	}
+	if q.Capacity() != 4 {
+		t.Fatalf("Capacity = %d", q.Capacity())
+	}
+}
+
+func TestIAQEmptyThenReuse(t *testing.T) {
+	q := NewIAQ(64)
+	h := NewHandle()
+	// Empty dequeues burn cells (the algorithm never reuses them) but must
+	// not corrupt later traffic.
+	for i := 0; i < 5; i++ {
+		if _, ok := q.Dequeue(h); ok {
+			t.Fatal("empty queue returned value")
+		}
+	}
+	// A dequeuer that raced ahead poisons cells; enqueues skip them.
+	for i := uint64(0); i < 10; i++ {
+		if !q.Enqueue(h, i+100) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	for i := uint64(0); i < 10; i++ {
+		if v, ok := q.Dequeue(h); !ok || v != i+100 {
+			t.Fatalf("got (%d,%v), want %d", v, ok, i+100)
+		}
+	}
+}
+
+func TestIAQReservedValuesPanic(t *testing.T) {
+	q := NewIAQ(8)
+	h := NewHandle()
+	for _, v := range []uint64{Bottom, top} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("enqueue(%#x) did not panic", v)
+				}
+			}()
+			q.Enqueue(h, v)
+		}()
+	}
+}
+
+func TestIAQBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewIAQ(0)
+}
+
+func TestIAQConcurrent(t *testing.T) {
+	const producers, perProd = 4, 2000
+	// Every empty dequeue burns one cell forever — the flaw that makes the
+	// Figure-2 algorithm unrealistic — so spinning consumers need enormous
+	// headroom. They also Gosched on empty below to bound the burn rate.
+	q := NewIAQ(producers*perProd + 1<<21)
+	var wg, prodWG sync.WaitGroup
+	prodWG.Add(producers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			defer prodWG.Done()
+			h := NewHandle()
+			for i := 0; i < perProd; i++ {
+				if !q.Enqueue(h, uint64(p)<<32|uint64(i)|1<<62) {
+					t.Error("capacity exhausted")
+					return
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	go func() { prodWG.Wait(); close(done) }()
+	var mu sync.Mutex
+	got := map[uint64]int{}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := NewHandle()
+			for {
+				v, ok := q.Dequeue(h)
+				if ok {
+					mu.Lock()
+					got[v]++
+					mu.Unlock()
+					continue
+				}
+				select {
+				case <-done:
+					if v, ok := q.Dequeue(h); ok {
+						mu.Lock()
+						got[v]++
+						mu.Unlock()
+						continue
+					}
+					return
+				default:
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(got) != producers*perProd {
+		t.Fatalf("got %d distinct values, want %d", len(got), producers*perProd)
+	}
+	for v, n := range got {
+		if n != 1 {
+			t.Fatalf("value %#x seen %d times", v, n)
+		}
+	}
+}

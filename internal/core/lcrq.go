@@ -1,0 +1,248 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcrq/internal/epoch"
+	"lcrq/internal/hazard"
+	"lcrq/internal/pad"
+)
+
+// LCRQ is the unbounded nonblocking FIFO queue of Figure 5: a Michael-Scott
+// style linked list whose nodes are CRQs. Dequeuers work in the head CRQ
+// and enqueuers in the tail CRQ; an enqueuer that finds the tail CRQ closed
+// appends a new CRQ seeded with its item.
+//
+// All operations require a *Handle obtained from NewHandle; a handle is
+// single-threaded state (hazard pointers, counters, cluster identity).
+type LCRQ struct {
+	head atomic.Pointer[CRQ]
+	_    pad.Line
+	tail atomic.Pointer[CRQ]
+	_    pad.Line
+
+	cfg  Config
+	dom  *hazard.Domain[CRQ]
+	edom *epoch.Domain[CRQ]
+	pool sync.Pool // recycled *CRQ rings (nil Reclaim when NoRecycle)
+}
+
+// NewLCRQ returns an empty queue configured by cfg.
+func NewLCRQ(cfg Config) *LCRQ {
+	cfg = cfg.normalized()
+	q := &LCRQ{cfg: cfg}
+	switch cfg.Reclamation {
+	case ReclaimHazard:
+		q.dom = hazard.New[CRQ](hpSlots)
+	case ReclaimEpoch:
+		q.edom = epoch.New[CRQ]()
+	}
+	first := NewCRQ(cfg)
+	q.head.Store(first)
+	q.tail.Store(first)
+	return q
+}
+
+// Config returns the queue's normalized configuration.
+func (q *LCRQ) Config() Config { return q.cfg }
+
+// NewHandle returns a per-thread handle bound to this queue. The caller
+// must Release it when the thread stops using the queue.
+func (q *LCRQ) NewHandle() *Handle {
+	switch q.cfg.Reclamation {
+	case ReclaimEpoch:
+		return &Handle{ep: q.edom.Acquire(), owner: q}
+	case ReclaimGC:
+		return &Handle{owner: q}
+	default:
+		return &Handle{hp: q.dom.Acquire(), owner: q}
+	}
+}
+
+// enter begins an operation's reclamation-protected region; the returned
+// function ends it. Only the epoch scheme needs region brackets; hazard
+// pointers protect per-pointer and GC mode needs nothing.
+func (h *Handle) enter() {
+	if h.ep != nil {
+		h.ep.Pin()
+	}
+}
+
+func (h *Handle) exit() {
+	if h.ep != nil {
+		h.ep.Unpin()
+	}
+}
+
+// protect pins the CRQ currently referenced by src. In epoch mode the
+// operation-wide pin already protects everything reachable, and in GC mode
+// the garbage collector does, so a plain load suffices for both; only
+// hazard mode needs the publish-and-revalidate dance.
+func (q *LCRQ) protect(h *Handle, slot int, src *atomic.Pointer[CRQ]) *CRQ {
+	if h.hp == nil {
+		return src.Load()
+	}
+	return h.hp.ProtectPtr(slot, src)
+}
+
+func (q *LCRQ) unprotect(h *Handle, slot int) {
+	if h.hp != nil {
+		h.hp.Clear(slot)
+	}
+}
+
+// newRing produces a CRQ seeded with v, recycling a retired ring when
+// possible.
+func (q *LCRQ) newRing(h *Handle, v uint64) *CRQ {
+	if !q.cfg.NoRecycle {
+		if r, ok := q.pool.Get().(*CRQ); ok && r != nil {
+			r.reset()
+			r.seed(v)
+			h.C.Recycled++
+			return r
+		}
+	}
+	r := NewCRQ(q.cfg)
+	r.seed(v)
+	return r
+}
+
+// releaseRing returns a ring that was never published (a lost append race)
+// straight to the pool.
+func (q *LCRQ) releaseRing(r *CRQ) {
+	if q.cfg.NoRecycle {
+		return
+	}
+	q.pool.Put(r)
+}
+
+// retireRing schedules an unlinked ring for reuse once the reclamation
+// scheme proves no thread can still access it. In GC mode the garbage
+// collector is the reclaimer and there is nothing to do.
+func (q *LCRQ) retireRing(h *Handle, r *CRQ) {
+	var reclaim func(*CRQ)
+	if !q.cfg.NoRecycle {
+		reclaim = func(old *CRQ) { q.pool.Put(old) }
+	}
+	switch {
+	case h.hp != nil:
+		h.hp.Retire(r, reclaim)
+	case h.ep != nil:
+		h.ep.Retire(r, reclaim)
+	}
+}
+
+// Enqueue appends v to the queue. v must not be Bottom (use the public
+// typed facade for unrestricted values).
+func (q *LCRQ) Enqueue(h *Handle, v uint64) {
+	if v == Bottom {
+		panic("core: enqueue of reserved value Bottom")
+	}
+	h.enter()
+	defer h.exit()
+	for {
+		crq := q.protect(h, hpTail, &q.tail)
+		if next := crq.next.Load(); next != nil {
+			// Help a stalled appender swing the tail (Figure 5c, 156-158).
+			h.C.CAS++
+			if !q.tail.CompareAndSwap(crq, next) {
+				h.C.CASFail++
+			}
+			continue
+		}
+		if q.cfg.Hierarchical {
+			q.clusterGate(h, crq)
+		}
+		if crq.Enqueue(h, v) {
+			h.C.Enqueues++
+			q.unprotect(h, hpTail)
+			return
+		}
+		// Tail CRQ is closed: append a new CRQ containing v (159-166).
+		newcrq := q.newRing(h, v)
+		h.C.CAS++
+		if crq.next.CompareAndSwap(nil, newcrq) {
+			h.C.CAS++
+			if !q.tail.CompareAndSwap(crq, newcrq) {
+				h.C.CASFail++
+			}
+			h.C.Appends++
+			h.C.Enqueues++
+			q.unprotect(h, hpTail)
+			return
+		}
+		h.C.CASFail++
+		q.releaseRing(newcrq) // lost the race; ring was never visible
+	}
+}
+
+// Dequeue removes and returns the oldest value. ok is false if the queue
+// is empty.
+//
+// The retry of the head CRQ after observing a non-nil next (the second
+// Dequeue call below) is the December 2013 correction: without it, an item
+// enqueued into the head CRQ after its drain but before the head swing
+// could be skipped, losing it.
+func (q *LCRQ) Dequeue(h *Handle) (v uint64, ok bool) {
+	h.enter()
+	defer h.exit()
+	for {
+		crq := q.protect(h, hpHead, &q.head)
+		if q.cfg.Hierarchical {
+			q.clusterGate(h, crq)
+		}
+		if v, ok := crq.Dequeue(h); ok {
+			h.C.Dequeues++
+			q.unprotect(h, hpHead)
+			return v, true
+		}
+		if crq.next.Load() == nil {
+			h.C.Dequeues++
+			h.C.Empty++
+			q.unprotect(h, hpHead)
+			return Bottom, false
+		}
+		if v, ok := crq.Dequeue(h); ok {
+			h.C.Dequeues++
+			q.unprotect(h, hpHead)
+			return v, true
+		}
+		h.C.CAS++
+		if q.head.CompareAndSwap(crq, crq.next.Load()) {
+			q.retireRing(h, crq)
+		} else {
+			h.C.CASFail++
+		}
+	}
+}
+
+// clusterGate implements the LCRQ+H admission protocol (§4.1.1): if the
+// ring is currently owned by another cluster, wait up to ClusterTimeout for
+// ownership to arrive, then claim it with a CAS and proceed regardless of
+// the CAS outcome. The gate never blocks an operation permanently, so the
+// queue remains nonblocking.
+func (q *LCRQ) clusterGate(h *Handle, crq *CRQ) {
+	cur := crq.cluster.Load()
+	if cur == h.Cluster {
+		return
+	}
+	deadline := time.Now().Add(q.cfg.ClusterTimeout)
+	for spin := 0; time.Now().Before(deadline); spin++ {
+		if crq.cluster.Load() == h.Cluster {
+			return
+		}
+		if spin%64 == 63 {
+			runtime.Gosched()
+		}
+	}
+	cur = crq.cluster.Load()
+	if cur != h.Cluster {
+		h.C.CAS++
+		if !crq.cluster.CompareAndSwap(cur, h.Cluster) {
+			h.C.CASFail++
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package counter
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFAACounts(t *testing.T) {
+	r := Run(FAA, 2, 10000, false)
+	if r.NsPerInc <= 0 {
+		t.Fatalf("NsPerInc = %v", r.NsPerInc)
+	}
+	if r.CASPerInc != 0 || r.TotalCAS != 0 {
+		t.Fatalf("FAA mode should not count CAS: %+v", r)
+	}
+}
+
+func TestCASLoopCountsAttempts(t *testing.T) {
+	r := Run(CASLoop, 4, 5000, false)
+	if r.CASPerInc < 1 {
+		t.Fatalf("CASPerInc = %v, must be at least 1", r.CASPerInc)
+	}
+	if r.TotalCAS < uint64(4*5000) {
+		t.Fatalf("TotalCAS = %d", r.TotalCAS)
+	}
+}
+
+func TestSingleThreadCASNeverFails(t *testing.T) {
+	r := Run(CASLoop, 1, 20000, false)
+	if r.CASPerInc != 1 {
+		t.Fatalf("uncontended CASPerInc = %v, want exactly 1", r.CASPerInc)
+	}
+}
+
+func TestRunPanicsOnBadArgs(t *testing.T) {
+	for _, f := range []func(){
+		func() { Run(FAA, 0, 1, false) },
+		func() { Run(FAA, 1, 0, false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if FAA.String() != "F&A" || CASLoop.String() != "CAS loop" {
+		t.Fatal("mode labels wrong")
+	}
+	if !strings.Contains(Run(CASLoop, 1, 100, false).String(), "CAS/inc") {
+		t.Fatal("result string missing CAS rate")
+	}
+	if strings.Contains(Run(FAA, 1, 100, false).String(), "CAS/inc") {
+		t.Fatal("FAA result string should omit CAS rate")
+	}
+}
+
+func TestPinnedRun(t *testing.T) {
+	// Must work (or degrade gracefully) regardless of platform support.
+	r := Run(FAA, 2, 1000, true)
+	if r.NsPerInc <= 0 {
+		t.Fatal("pinned run produced no timing")
+	}
+}

@@ -1,0 +1,32 @@
+package fc
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func BenchmarkFCSequential(b *testing.B) {
+	q := New()
+	h := q.NewHandle()
+	defer h.Release()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Enqueue(uint64(i))
+		h.Dequeue()
+	}
+}
+
+func BenchmarkFCParallel(b *testing.B) {
+	q := New()
+	var ids atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		h := q.NewHandle()
+		defer h.Release()
+		v := ids.Add(1) << 32
+		for pb.Next() {
+			v++
+			h.Enqueue(v)
+			h.Dequeue()
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package fc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New()
+	h := q.NewHandle()
+	defer h.Release()
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("fresh queue not empty")
+	}
+	for i := uint64(0); i < 200; i++ {
+		h.Enqueue(i)
+	}
+	for i := uint64(0); i < 200; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("got (%d,%v), want %d", v, ok, i)
+		}
+	}
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("should be empty")
+	}
+}
+
+func TestSegmentBoundaries(t *testing.T) {
+	q := New()
+	h := q.NewHandle()
+	defer h.Release()
+	// Cross several segment boundaries in both interleaved and bulk modes.
+	n := uint64(3*segSize + 17)
+	for i := uint64(0); i < n; i++ {
+		h.Enqueue(i)
+	}
+	for i := uint64(0); i < n; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("bulk: got (%d,%v), want %d", v, ok, i)
+		}
+	}
+	for i := uint64(0); i < 2*segSize; i++ {
+		h.Enqueue(i)
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("interleaved: got (%d,%v), want %d", v, ok, i)
+		}
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	f := func(ops []byte) bool {
+		q := New()
+		h := q.NewHandle()
+		defer h.Release()
+		var model []uint64
+		next := uint64(1)
+		for _, op := range ops {
+			if op%2 == 0 {
+				h.Enqueue(next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := h.Dequeue()
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else if !ok || v != model[0] {
+					return false
+				} else {
+					model = model[1:]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentNoLossNoDup(t *testing.T) {
+	q := New()
+	const producers, consumers, per = 4, 4, 2500
+	var wg sync.WaitGroup
+	var count atomic.Int64
+	seen := make([][]uint64, consumers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := q.NewHandle()
+			defer h.Release()
+			for i := 0; i < per; i++ {
+				h.Enqueue(uint64(p)<<32 | uint64(i))
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h := q.NewHandle()
+			defer h.Release()
+			for count.Load() < producers*per {
+				if v, ok := h.Dequeue(); ok {
+					seen[c] = append(seen[c], v)
+					count.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	all := map[uint64]int{}
+	for _, s := range seen {
+		for _, v := range s {
+			all[v]++
+		}
+	}
+	if len(all) != producers*per {
+		t.Fatalf("distinct = %d, want %d", len(all), producers*per)
+	}
+	for v, n := range all {
+		if n != 1 {
+			t.Fatalf("value %#x seen %d times", v, n)
+		}
+	}
+	for c, s := range seen {
+		last := map[uint64]int64{}
+		for _, v := range s {
+			p, i := v>>32, int64(v&0xffffffff)
+			if prev, ok := last[p]; ok && i <= prev {
+				t.Fatalf("consumer %d: producer %d out of order", c, p)
+			}
+			last[p] = i
+		}
+	}
+}
+
+func TestReleasedRecordSkipped(t *testing.T) {
+	q := New()
+	h1 := q.NewHandle()
+	h1.Enqueue(1)
+	h1.Release()
+	// A combiner scanning on behalf of h2 must skip h1's dead record even
+	// though it remains linked.
+	h2 := q.NewHandle()
+	defer h2.Release()
+	if v, ok := h2.Dequeue(); !ok || v != 1 {
+		t.Fatalf("got (%d,%v)", v, ok)
+	}
+	if _, ok := h2.Dequeue(); ok {
+		t.Fatal("should be empty")
+	}
+}
+
+func TestCombinerStats(t *testing.T) {
+	q := New()
+	h := q.NewHandle()
+	defer h.Release()
+	for i := uint64(0); i < 100; i++ {
+		h.Enqueue(i)
+	}
+	if h.C.CombinerRuns == 0 || h.C.Combined < 100 {
+		t.Fatalf("combiner stats: %+v", h.C)
+	}
+}
+
+func TestManyHandles(t *testing.T) {
+	q := New()
+	var handles []*Handle
+	for i := 0; i < 50; i++ {
+		handles = append(handles, q.NewHandle())
+	}
+	for i, h := range handles {
+		h.Enqueue(uint64(i))
+	}
+	got := map[uint64]bool{}
+	for _, h := range handles {
+		v, ok := h.Dequeue()
+		if !ok {
+			t.Fatal("missing value")
+		}
+		got[v] = true
+	}
+	if len(got) != 50 {
+		t.Fatalf("got %d distinct", len(got))
+	}
+	for _, h := range handles {
+		h.Release()
+	}
+}

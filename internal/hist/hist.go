@@ -1,0 +1,223 @@
+// Package hist implements a log-linear latency histogram, the data structure
+// behind the operation-latency CDFs of Figure 8 in the LCRQ paper.
+//
+// The histogram covers [1 ns, ~146 µs·2^k] with bounded relative error: each
+// power-of-two range is split into 32 linear sub-buckets, giving a worst-case
+// quantile error of about 3%. Recording is a handful of integer operations
+// and never allocates, so workers can record on the measurement path; each
+// worker owns a private histogram and the harness merges them afterwards.
+package hist
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+const (
+	subBits    = 5 // 32 linear sub-buckets per octave
+	subBuckets = 1 << subBits
+	// octaves covers values up to 2^(octaves+subBits-1) - 1 ≈ 2^36 ns ≈ 68 s,
+	// far beyond any queue-operation latency.
+	octaves    = 32
+	numBuckets = octaves * subBuckets
+)
+
+// H is a latency histogram. Values are recorded in nanoseconds. The zero
+// value is ready to use.
+type H struct {
+	counts   [numBuckets]uint64
+	total    uint64
+	overflow uint64 // values too large for the bucket range
+	max      int64
+	min      int64
+}
+
+// bucket maps a value to its bucket index.
+//
+// Values below subBuckets fall into octave 0 with exact (1 ns) resolution;
+// above that, the top subBits bits after the leading one select the linear
+// sub-bucket within the value's octave.
+func bucket(v int64) int {
+	if v < subBuckets {
+		return int(v)
+	}
+	msb := 63 - bits.LeadingZeros64(uint64(v))
+	octave := msb - subBits + 1
+	sub := int(uint64(v)>>uint(octave-1)) & (subBuckets - 1)
+	return octave*subBuckets + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket i; the bucket's
+// values span [bucketLow(i), bucketLow(i+1)).
+func bucketLow(i int) int64 {
+	octave := i / subBuckets
+	sub := i % subBuckets
+	if octave == 0 {
+		return int64(sub)
+	}
+	return (int64(subBuckets) + int64(sub)) << uint(octave-1)
+}
+
+// Record adds one observation of v nanoseconds. Negative values are clamped
+// to zero (they can arise from clock adjustments mid-measurement).
+func (h *H) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if h.total == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.total++
+	b := bucket(v)
+	if b >= numBuckets {
+		h.overflow++
+		return
+	}
+	h.counts[b]++
+}
+
+// Count returns the number of recorded observations.
+func (h *H) Count() uint64 { return h.total }
+
+// Min returns the smallest recorded value, or 0 if empty.
+func (h *H) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value, or 0 if empty.
+func (h *H) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Merge adds all observations recorded in o into h.
+func (h *H) Merge(o *H) {
+	if o.total == 0 {
+		return
+	}
+	if h.total == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.total += o.total
+	h.overflow += o.overflow
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) of the
+// recorded values, accurate to the bucket width (≈3% relative error). It
+// returns 0 for an empty histogram.
+func (h *H) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			// Report the bucket's upper edge, clamped to the observed max.
+			hi := bucketLow(i+1) - 1
+			if hi > h.max {
+				hi = h.max
+			}
+			if hi < h.min {
+				hi = h.min
+			}
+			return hi
+		}
+	}
+	return h.max
+}
+
+// Mean returns the approximate mean of the recorded values using bucket
+// midpoints.
+func (h *H) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		mid := float64(bucketLow(i)+bucketLow(i+1)-1) / 2
+		sum += mid * float64(c)
+	}
+	// Overflowed values contribute at least the observed max.
+	sum += float64(h.overflow) * float64(h.max)
+	return sum / float64(h.total)
+}
+
+// CDFPoint is one point of a cumulative distribution: Fraction of
+// observations were ≤ Value nanoseconds.
+type CDFPoint struct {
+	Value    int64
+	Fraction float64
+}
+
+// CDF returns the cumulative distribution evaluated at each of the given
+// values (which are sorted in place).
+func (h *H) CDF(values []int64) []CDFPoint {
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	out := make([]CDFPoint, 0, len(values))
+	for _, v := range values {
+		out = append(out, CDFPoint{Value: v, Fraction: h.FractionBelow(v)})
+	}
+	return out
+}
+
+// FractionBelow returns the fraction of observations ≤ v. The answer is
+// exact at bucket boundaries and otherwise an upper-bounded approximation
+// including the whole bucket containing v.
+func (h *H) FractionBelow(v int64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if v < 0 {
+		return 0
+	}
+	b := bucket(v)
+	var seen uint64
+	for i := 0; i <= b && i < numBuckets; i++ {
+		seen += h.counts[i]
+	}
+	return float64(seen) / float64(h.total)
+}
+
+// String renders a short summary with common quantiles.
+func (h *H) String() string {
+	if h.total == 0 {
+		return "hist{empty}"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist{n=%d mean=%.0fns", h.total, h.Mean())
+	for _, q := range []float64{0.5, 0.8, 0.97, 0.999} {
+		fmt.Fprintf(&b, " p%g=%dns", q*100, h.Quantile(q))
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,224 @@
+package hist
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lcrq/internal/xrand"
+)
+
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<20; v += 37 {
+		b := bucket(v)
+		if b < prev {
+			t.Fatalf("bucket not monotone at v=%d: %d < %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestBucketLowRoundTrip(t *testing.T) {
+	// Every bucket's low edge must map back to that bucket, and the value
+	// one below must map to the previous bucket.
+	for i := 1; i <= numBuckets-1; i++ {
+		lo := bucketLow(i)
+		if got := bucket(lo); got != i {
+			t.Fatalf("bucket(bucketLow(%d)=%d) = %d", i, lo, got)
+		}
+		if got := bucket(lo - 1); got != i-1 {
+			t.Fatalf("bucket(%d) = %d, want %d", lo-1, got, i-1)
+		}
+	}
+}
+
+func TestSmallValuesExact(t *testing.T) {
+	var h H
+	for v := int64(0); v < 32; v++ {
+		h.Record(v)
+	}
+	for q := 0; q < 32; q++ {
+		want := int64(q)
+		if got := h.Quantile(float64(q) / 32); got != want {
+			t.Fatalf("Quantile(%d/32) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestQuantileRelativeError(t *testing.T) {
+	var h H
+	rng := xrand.New(1)
+	values := make([]int64, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		v := int64(rng.Uintn(1_000_000)) + 1
+		values = append(values, v)
+		h.Record(v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		exact := values[int(q*float64(len(values)))]
+		got := h.Quantile(q)
+		relerr := math.Abs(float64(got-exact)) / float64(exact)
+		if relerr > 0.04 {
+			t.Fatalf("Quantile(%v) = %d, exact %d, relative error %.3f > 4%%",
+				q, got, exact, relerr)
+		}
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	var h H
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatal("negative value not clamped to 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var h H
+	h.Record(100)
+	h.Record(5)
+	h.Record(70000)
+	if h.Min() != 5 || h.Max() != 70000 {
+		t.Fatalf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b H
+	for i := int64(1); i <= 1000; i++ {
+		a.Record(i)
+	}
+	for i := int64(1001); i <= 2000; i++ {
+		b.Record(i)
+	}
+	a.Merge(&b)
+	if a.Count() != 2000 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 2000 {
+		t.Fatalf("Min/Max = %d/%d", a.Min(), a.Max())
+	}
+	med := a.Quantile(0.5)
+	if med < 950 || med > 1100 {
+		t.Fatalf("median after merge = %d, want ≈1000", med)
+	}
+	// Merging an empty histogram must not disturb min.
+	var empty H
+	a.Merge(&empty)
+	if a.Min() != 1 {
+		t.Fatal("merge with empty histogram changed min")
+	}
+	// Merging into an empty histogram must adopt the other's bounds.
+	var c H
+	c.Merge(&a)
+	if c.Min() != 1 || c.Max() != 2000 || c.Count() != 2000 {
+		t.Fatal("merge into empty histogram wrong")
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	var h H
+	for i := 0; i < 100; i++ {
+		h.Record(int64(i)) // 0..99, all in the exact range
+	}
+	if f := h.FractionBelow(9); f != 0.10 {
+		t.Fatalf("FractionBelow(9) = %v, want 0.10", f)
+	}
+	if f := h.FractionBelow(1 << 40); f != 1 {
+		t.Fatalf("FractionBelow(huge) = %v, want 1", f)
+	}
+	if f := h.FractionBelow(-1); f != 0 {
+		t.Fatalf("FractionBelow(-1) = %v, want 0", f)
+	}
+}
+
+func TestCDFSortsAndEvaluates(t *testing.T) {
+	var h H
+	for i := int64(1); i <= 10; i++ {
+		h.Record(i)
+	}
+	pts := h.CDF([]int64{10, 1, 5})
+	if len(pts) != 3 || pts[0].Value != 1 || pts[2].Value != 10 {
+		t.Fatalf("CDF points not sorted: %+v", pts)
+	}
+	if pts[2].Fraction != 1 {
+		t.Fatalf("CDF at max = %v, want 1", pts[2].Fraction)
+	}
+	if pts[0].Fraction <= 0 || pts[0].Fraction >= pts[1].Fraction {
+		t.Fatalf("CDF not increasing: %+v", pts)
+	}
+}
+
+func TestMeanApproximation(t *testing.T) {
+	var h H
+	for i := 0; i < 1000; i++ {
+		h.Record(1000)
+	}
+	m := h.Mean()
+	if math.Abs(m-1000)/1000 > 0.04 {
+		t.Fatalf("Mean = %v, want ≈1000", m)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	var h H
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i)
+	}
+	s := h.String()
+	for _, want := range []string{"n=1000", "p50=", "p97=", "mean="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h H
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.String() != "hist{empty}" {
+		t.Fatalf("String = %q", h.String())
+	}
+}
+
+func TestQuantileQuickProperties(t *testing.T) {
+	f := func(raw []uint32, q float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		q = math.Abs(q)
+		q -= math.Floor(q) // into [0,1)
+		var h H
+		var mx, mn int64 = 0, math.MaxInt64
+		for _, r := range raw {
+			v := int64(r % 1_000_000)
+			h.Record(v)
+			if v > mx {
+				mx = v
+			}
+			if v < mn {
+				mn = v
+			}
+		}
+		got := h.Quantile(q)
+		return got >= mn && got <= mx
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	var h H
+	rng := xrand.New(3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(rng.Uintn(100000)))
+	}
+}

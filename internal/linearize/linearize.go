@@ -1,0 +1,172 @@
+// Package linearize records concurrent operation histories and decides
+// whether they are linearizable with respect to the sequential FIFO queue
+// specification — the correctness condition of the paper (Herlihy & Wing,
+// TOPLAS 1990).
+//
+// The checker is a Wing & Gong style exhaustive search with memoization:
+// at each step it tries to linearize any operation that is "minimal" in the
+// real-time partial order (every operation that returned before it was
+// invoked has already been linearized) and whose effect is consistent with
+// the current abstract queue state. The search is exponential in the worst
+// case, so the test suite keeps histories small (tens of operations, a few
+// threads); the Recorder's global clock makes real-time ordering precise.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Kind distinguishes the two queue operations.
+type Kind uint8
+
+const (
+	// Enq is enqueue(Value) → OK.
+	Enq Kind = iota
+	// Deq is dequeue() → (Value, OK); OK=false means EMPTY.
+	Deq
+)
+
+// Op is one completed operation with its real-time interval. Invoke and
+// Return are logical timestamps from the Recorder's global clock, so
+// Invoke < Return for every op and intervals are comparable across threads.
+type Op struct {
+	Thread int
+	Kind   Kind
+	Value  uint64 // enqueued value, or dequeued value when OK
+	OK     bool   // Deq only: false = EMPTY
+	Invoke int64
+	Return int64
+}
+
+func (o Op) String() string {
+	switch {
+	case o.Kind == Enq:
+		return fmt.Sprintf("T%d enq(%d)@[%d,%d]", o.Thread, o.Value, o.Invoke, o.Return)
+	case o.OK:
+		return fmt.Sprintf("T%d deq()=%d@[%d,%d]", o.Thread, o.Value, o.Invoke, o.Return)
+	default:
+		return fmt.Sprintf("T%d deq()=EMPTY@[%d,%d]", o.Thread, o.Invoke, o.Return)
+	}
+}
+
+// History is a set of completed operations.
+type History []Op
+
+// Recorder collects a History from concurrently running workers. Each
+// worker owns its thread slot; Now and Append are safe to call
+// concurrently.
+type Recorder struct {
+	clock atomic.Int64
+	logs  [][]Op
+}
+
+// NewRecorder prepares a recorder for the given number of worker threads.
+func NewRecorder(threads int) *Recorder {
+	return &Recorder{logs: make([][]Op, threads)}
+}
+
+// Now returns the next logical timestamp.
+func (r *Recorder) Now() int64 { return r.clock.Add(1) }
+
+// Append records a completed op for the given thread. Only that thread may
+// append to its slot.
+func (r *Recorder) Append(thread int, op Op) {
+	op.Thread = thread
+	r.logs[thread] = append(r.logs[thread], op)
+}
+
+// History merges all per-thread logs. Call only after workers have stopped.
+func (r *Recorder) History() History {
+	var h History
+	for _, l := range r.logs {
+		h = append(h, l...)
+	}
+	return h
+}
+
+// Check reports whether h is linearizable as a FIFO queue, i.e. whether
+// some total order of the operations (a) respects real-time precedence and
+// (b) is a legal sequential queue execution.
+func Check(h History) bool {
+	c := &checker{ops: h, memo: map[string]struct{}{}}
+	// Sorting by invocation makes candidate scanning deterministic and the
+	// memo keys canonical.
+	sort.Slice(c.ops, func(i, j int) bool { return c.ops[i].Invoke < c.ops[j].Invoke })
+	c.linearized = make([]bool, len(c.ops))
+	return c.dfs(nil, 0)
+}
+
+type checker struct {
+	ops        []Op
+	linearized []bool
+	memo       map[string]struct{}
+}
+
+// key encodes (linearized set, queue contents). Two search states with the
+// same key have identical futures, so a failed state is never re-explored.
+func (c *checker) key(queue []uint64) string {
+	var b strings.Builder
+	b.Grow(len(c.linearized) + 8*len(queue))
+	for _, l := range c.linearized {
+		if l {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	b.WriteByte('|')
+	for _, v := range queue {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+func (c *checker) dfs(queue []uint64, done int) bool {
+	if done == len(c.ops) {
+		return true
+	}
+	k := c.key(queue)
+	if _, seen := c.memo[k]; seen {
+		return false
+	}
+
+	// minReturn over pending ops: an op is a legal next linearization
+	// point only if no pending op returned strictly before it was invoked.
+	minReturn := int64(1<<63 - 1)
+	for i, op := range c.ops {
+		if !c.linearized[i] && op.Return < minReturn {
+			minReturn = op.Return
+		}
+	}
+
+	for i, op := range c.ops {
+		if c.linearized[i] || op.Invoke > minReturn {
+			continue
+		}
+		var next []uint64
+		switch {
+		case op.Kind == Enq:
+			next = append(append([]uint64{}, queue...), op.Value)
+		case op.OK:
+			if len(queue) == 0 || queue[0] != op.Value {
+				continue
+			}
+			next = append([]uint64{}, queue[1:]...)
+		default: // EMPTY
+			if len(queue) != 0 {
+				continue
+			}
+			next = nil
+		}
+		c.linearized[i] = true
+		if c.dfs(next, done+1) {
+			return true
+		}
+		c.linearized[i] = false
+	}
+	c.memo[k] = struct{}{}
+	return false
+}

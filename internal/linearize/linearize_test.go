@@ -1,0 +1,236 @@
+package linearize
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// seqOp builds completed sequential ops with explicit timestamps.
+func enq(th int, v uint64, inv, ret int64) Op {
+	return Op{Thread: th, Kind: Enq, Value: v, Invoke: inv, Return: ret}
+}
+func deq(th int, v uint64, inv, ret int64) Op {
+	return Op{Thread: th, Kind: Deq, Value: v, OK: true, Invoke: inv, Return: ret}
+}
+func deqEmpty(th int, inv, ret int64) Op {
+	return Op{Thread: th, Kind: Deq, Invoke: inv, Return: ret}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !Check(nil) {
+		t.Fatal("empty history must be linearizable")
+	}
+}
+
+func TestSequentialLegal(t *testing.T) {
+	h := History{
+		enq(0, 1, 1, 2),
+		enq(0, 2, 3, 4),
+		deq(0, 1, 5, 6),
+		deq(0, 2, 7, 8),
+		deqEmpty(0, 9, 10),
+	}
+	if !Check(h) {
+		t.Fatal("legal sequential history rejected")
+	}
+}
+
+func TestSequentialFIFOViolation(t *testing.T) {
+	h := History{
+		enq(0, 1, 1, 2),
+		enq(0, 2, 3, 4),
+		deq(0, 2, 5, 6), // wrong: 1 must come out first
+	}
+	if Check(h) {
+		t.Fatal("FIFO violation accepted")
+	}
+}
+
+func TestDequeueFromFuture(t *testing.T) {
+	h := History{
+		deq(0, 7, 1, 2), // returns before the enqueue is invoked
+		enq(0, 7, 3, 4),
+	}
+	if Check(h) {
+		t.Fatal("dequeue of a not-yet-enqueued value accepted")
+	}
+}
+
+func TestSpuriousEmpty(t *testing.T) {
+	h := History{
+		enq(0, 1, 1, 2),
+		deqEmpty(1, 3, 4), // queue provably non-empty throughout
+		deq(1, 1, 5, 6),
+	}
+	if Check(h) {
+		t.Fatal("EMPTY between enqueue and dequeue accepted")
+	}
+}
+
+func TestConcurrentEmptyAllowed(t *testing.T) {
+	// EMPTY overlapping the enqueue may linearize before it.
+	h := History{
+		enq(0, 1, 1, 5),
+		deqEmpty(1, 2, 3), // concurrent with the enqueue
+		deq(1, 1, 6, 7),
+	}
+	if !Check(h) {
+		t.Fatal("legal concurrent EMPTY rejected")
+	}
+}
+
+func TestConcurrentReorderAllowed(t *testing.T) {
+	// Two overlapping enqueues may linearize in either order, so a dequeue
+	// order of (2, 1) is legal.
+	h := History{
+		enq(0, 1, 1, 10),
+		enq(1, 2, 2, 9),
+		deq(0, 2, 11, 12),
+		deq(1, 1, 13, 14),
+	}
+	if !Check(h) {
+		t.Fatal("legal reordering of overlapping enqueues rejected")
+	}
+}
+
+func TestNonOverlappingEnqueuesOrdered(t *testing.T) {
+	// enq(1) returns before enq(2) is invoked, so dequeues must observe
+	// 1 before 2.
+	h := History{
+		enq(0, 1, 1, 2),
+		enq(1, 2, 3, 4),
+		deq(0, 2, 5, 6),
+		deq(1, 1, 7, 8),
+	}
+	if Check(h) {
+		t.Fatal("real-time order violation accepted")
+	}
+}
+
+func TestDuplicateDeliveryRejected(t *testing.T) {
+	h := History{
+		enq(0, 1, 1, 2),
+		deq(1, 1, 3, 4),
+		deq(2, 1, 5, 6), // same item delivered twice
+	}
+	if Check(h) {
+		t.Fatal("duplicate delivery accepted")
+	}
+}
+
+func TestLostItemRejected(t *testing.T) {
+	h := History{
+		enq(0, 1, 1, 2),
+		deqEmpty(1, 3, 4), // item lost
+	}
+	if Check(h) {
+		t.Fatal("lost item accepted")
+	}
+}
+
+func TestDuplicateValuesLegal(t *testing.T) {
+	// The same value enqueued twice is fine.
+	h := History{
+		enq(0, 5, 1, 2),
+		enq(0, 5, 3, 4),
+		deq(1, 5, 5, 6),
+		deq(1, 5, 7, 8),
+	}
+	if !Check(h) {
+		t.Fatal("duplicate values rejected")
+	}
+}
+
+func TestPendingWindowSearch(t *testing.T) {
+	// A tangle of overlapping ops with exactly one valid linearization.
+	h := History{
+		enq(0, 1, 1, 20),
+		enq(1, 2, 2, 19),
+		enq(2, 3, 3, 18),
+		deq(3, 2, 4, 17),
+		deq(4, 3, 21, 22),
+		deq(5, 1, 23, 24),
+	}
+	// Valid: enq2, enq3, enq1? then deq2, deq3, deq1 — FIFO needs queue
+	// order 2,3,1, all enqueues overlap so any order is allowed. Legal.
+	if !Check(h) {
+		t.Fatal("satisfiable overlap tangle rejected")
+	}
+	// Make it unsatisfiable: dequeue order 2,1,3 but enq(3) precedes
+	// enq(1) in real time and deq(2) < deq(1) < deq(3) sequentially.
+	bad := History{
+		enq(0, 3, 1, 2), // enq(3) completes first
+		enq(0, 1, 3, 4), // then enq(1)
+		enq(0, 2, 5, 6), // then enq(2)
+		deq(1, 2, 7, 8), // 2 out first — impossible, 3 then 1 precede it
+		deq(1, 1, 9, 10),
+		deq(1, 3, 11, 12),
+	}
+	if Check(bad) {
+		t.Fatal("unsatisfiable tangle accepted")
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder(4)
+	var wg sync.WaitGroup
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				inv := r.Now()
+				ret := r.Now()
+				r.Append(th, Op{Kind: Enq, Value: uint64(th*10 + i), Invoke: inv, Return: ret})
+			}
+		}(th)
+	}
+	wg.Wait()
+	h := r.History()
+	if len(h) != 40 {
+		t.Fatalf("history has %d ops", len(h))
+	}
+	seen := map[int64]bool{}
+	for _, op := range h {
+		if op.Invoke >= op.Return {
+			t.Fatalf("bad interval: %+v", op)
+		}
+		if seen[op.Invoke] || seen[op.Return] {
+			t.Fatal("timestamps not unique")
+		}
+		seen[op.Invoke] = true
+		seen[op.Return] = true
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if s := enq(1, 5, 1, 2).String(); !strings.Contains(s, "enq(5)") {
+		t.Fatalf("String = %q", s)
+	}
+	if s := deq(1, 5, 1, 2).String(); !strings.Contains(s, "deq()=5") {
+		t.Fatalf("String = %q", s)
+	}
+	if s := deqEmpty(1, 1, 2).String(); !strings.Contains(s, "EMPTY") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// TestMemoizationTerminates: a wide history that would explode without the
+// memo must finish quickly.
+func TestMemoizationTerminates(t *testing.T) {
+	var h History
+	ts := int64(1)
+	// 12 concurrent enqueues followed by 12 concurrent dequeues of the
+	// same values: huge symmetric search space.
+	for i := 0; i < 12; i++ {
+		h = append(h, enq(i, uint64(i), 1, 100))
+	}
+	for i := 0; i < 12; i++ {
+		h = append(h, deq(i, uint64(i), 101, 200))
+	}
+	_ = ts
+	if !Check(h) {
+		t.Fatal("legal symmetric history rejected")
+	}
+}

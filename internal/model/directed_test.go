@@ -1,0 +1,180 @@
+package model
+
+// Directed-schedule tests: adversarial interleavings that are too deep for
+// exhaustive exploration (the lost-item window of the safe bit needs ~30
+// precisely ordered steps across three threads) are pinned down manually
+// and executed against both the faithful protocol and its mutants. This is
+// the executable version of the scenario walkthrough in §4.1 of the paper
+// ("Dequeue arrives before enqueuer while node is occupied" / "Enqueuing an
+// item").
+
+import (
+	"testing"
+
+	"lcrq/internal/linearize"
+)
+
+// driver wraps a state with step helpers for scripting schedules.
+type driver struct {
+	t   *testing.T
+	s   *state
+	cfg Config
+}
+
+func newDriver(t *testing.T, cfg Config) *driver {
+	if cfg.RingOrder < 1 {
+		cfg.RingOrder = 1
+	}
+	if cfg.StarvationLimit == 0 {
+		cfg.StarvationLimit = 8
+	}
+	size := uint64(1) << cfg.RingOrder
+	s := &state{}
+	if cfg.LCRQ {
+		s.list = &mlist{segs: []*mqueue{newSeg(size)}}
+	} else {
+		s.q = newSeg(size)
+	}
+	for _, ops := range cfg.Threads {
+		s.threads = append(s.threads, &mthread{ops: ops, pc: pcIdle})
+	}
+	return &driver{t: t, s: s, cfg: cfg}
+}
+
+func (d *driver) step(ti int) {
+	d.t.Helper()
+	if msg := step(d.s, ti, d.cfg); msg != "" {
+		d.t.Fatalf("invariant broke mid-schedule: %s", msg)
+	}
+}
+
+// untilPC steps thread ti until its pc equals want.
+func (d *driver) untilPC(ti, want int) {
+	d.t.Helper()
+	for i := 0; i < 200; i++ {
+		if d.s.threads[ti].pc == want {
+			return
+		}
+		d.step(ti)
+	}
+	d.t.Fatalf("thread %d never reached pc %d (stuck at %d)", ti, want, d.s.threads[ti].pc)
+}
+
+// finishOp steps thread ti until it completes its current operation.
+func (d *driver) finishOp(ti int) {
+	d.t.Helper()
+	start := d.s.threads[ti].opIdx
+	for i := 0; i < 200; i++ {
+		if d.s.threads[ti].opIdx > start || d.s.threads[ti].done() {
+			return
+		}
+		d.step(ti)
+	}
+	d.t.Fatalf("thread %d op %d never completed", ti, start)
+}
+
+// finishAll drives every thread to completion round-robin.
+func (d *driver) finishAll() {
+	d.t.Helper()
+	for i := 0; i < 2000; i++ {
+		progressed := false
+		for ti := range d.s.threads {
+			if !d.s.threads[ti].done() {
+				progressed = true
+				d.step(ti)
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+	d.t.Fatal("threads did not finish")
+}
+
+func (d *driver) history() linearize.History { return history(d.s) }
+
+// safeBitSchedule drives the lost-item window: a dequeuer stalls mid-op, a
+// second dequeuer laps onto the occupied cell and poisons it unsafe, the
+// stalled dequeuer consumes (leaving the cell unsafe+empty), and then an
+// enqueuer's F&A lands exactly on the poisoned cell while head is already
+// past it. The faithful protocol refuses the deposit (head ≤ t fails);
+// the mutant deposits and loses the item.
+func safeBitSchedule(t *testing.T, mutation Mutation) (linearize.History, bool) {
+	t.Helper()
+	cfg := Config{
+		RingOrder: 1, // R = 2
+		Threads: [][]Op{
+			{enq(1), enq(2)},      // T0
+			{deq()},               // T1: the stalled dequeuer
+			{deq(), deq(), deq()}, // T2: the lapper and final observer
+		},
+		Mutation: mutation,
+	}
+	d := newDriver(t, cfg)
+
+	d.finishOp(0)                 // T0: enq(1) deposits into cell 0
+	d.untilPC(1, pcDeqLoadVal)    // T1: deq₀ takes h=0, stalls before reading
+	d.finishOp(2)                 // T2: deq₁ at h=1 poisons cell 1, EMPTY
+	d.untilPC(2, pcDeqCAS2Unsafe) // T2: deq₂ takes h=2, reaches occupied cell 0
+	d.step(2)                     // … and marks it unsafe: cell0 = (U,0,1)
+	if !d.s.q.cells[0].unsafe || d.s.q.cells[0].val != 1 {
+		t.Fatalf("schedule setup failed: cell0 = %+v", d.s.q.cells[0])
+	}
+	d.finishOp(1) // T1: deq₀ consumes 1 → cell0 = (U, 2, ⊥)
+	if !d.s.q.cells[0].unsafe || d.s.q.cells[0].val != 0 || d.s.q.cells[0].idx != 2 {
+		t.Fatalf("schedule setup failed: cell0 = %+v", d.s.q.cells[0])
+	}
+	d.finishOp(0) // T0: enq(2); F&A returns t=2 → the unsafe empty cell
+	deposited := d.s.q.cells[0].val == 2
+	d.finishAll() // T2 finishes deq₂ and runs the final observing deq₃
+	return d.history(), deposited
+}
+
+func TestSafeBitDirectedFaithful(t *testing.T) {
+	hist, deposited := safeBitSchedule(t, NoMutation)
+	if deposited {
+		t.Fatal("faithful protocol deposited into a doomed unsafe cell")
+	}
+	if !linearize.Check(hist) {
+		t.Fatalf("faithful protocol produced a non-linearizable history: %v", hist)
+	}
+}
+
+func TestSafeBitDirectedMutantCaught(t *testing.T) {
+	hist, deposited := safeBitSchedule(t, MutateSkipSafeCheck)
+	if !deposited {
+		t.Fatal("mutant did not deposit; schedule no longer exercises the window")
+	}
+	if linearize.Check(hist) {
+		t.Fatalf("mutant's lost item went unnoticed; history: %v", hist)
+	}
+}
+
+// TestReplaySimple exercises the flat-schedule Replay API.
+func TestReplaySimple(t *testing.T) {
+	cfg := Config{
+		RingOrder: 1,
+		Threads:   [][]Op{{enq(7)}, {deq()}},
+	}
+	// Strict alternation, then round-robin completion.
+	hist, violation := Replay(cfg, []int{0, 1, 0, 1, 0, 1, 0, 1})
+	if violation != "" {
+		t.Fatalf("violation: %s", violation)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history has %d ops, want 2: %v", len(hist), hist)
+	}
+}
+
+// TestReplaySkipsBogusEntries: out-of-range and finished-thread entries are
+// ignored rather than crashing.
+func TestReplayRobustSchedule(t *testing.T) {
+	cfg := Config{RingOrder: 1, Threads: [][]Op{{enq(1)}}}
+	hist, violation := Replay(cfg, []int{-1, 5, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	if violation != "" {
+		t.Fatalf("violation: %s", violation)
+	}
+	if len(hist) != 1 {
+		t.Fatalf("history: %v", hist)
+	}
+}

@@ -1,0 +1,120 @@
+package model
+
+import "lcrq/internal/linearize"
+
+// LCRQ-level modeling: a list of model CRQs with the Figure 5 wrapper
+// logic, enough to express the December 2013 erratum — without the
+// re-dequeue of the head CRQ after observing a non-nil next (Figure 5
+// lines 146-147, absent from the proceedings version), items enqueued into
+// the head CRQ between its drain and the head swing are lost.
+//
+// The list is modeled as a slice of segments: segment i's next pointer is
+// non-nil iff i+1 < len(segs); the head and tail pointers are indices.
+// The append (next-CAS plus tail swing) and the head swing are single
+// steps — coarser than the implementation's two CASes, which is fine
+// because the erratum's window lies entirely inside the dequeue wrapper,
+// not in the list pointer updates.
+
+// MutateNoDecemberFix reproduces the proceedings version of Figure 5: the
+// dequeuer swings the head as soon as it sees EMPTY with a non-nil next,
+// without re-examining the head CRQ.
+const MutateNoDecemberFix Mutation = 100
+
+type mlist struct {
+	segs []*mqueue
+	head int
+	tail int
+}
+
+func (l *mlist) clone() *mlist {
+	c := &mlist{head: l.head, tail: l.tail}
+	c.segs = make([]*mqueue, len(l.segs))
+	for i, s := range l.segs {
+		c.segs[i] = s.clone()
+	}
+	return c
+}
+
+// queue resolves the segment thread t is currently operating on.
+func (t *mthread) queue(s *state) *mqueue {
+	if s.list != nil {
+		return s.list.segs[t.segIdx]
+	}
+	return s.q
+}
+
+func newSeg(size uint64) *mqueue {
+	return &mqueue{cells: make([]mcell, size), mask: size - 1, size: size}
+}
+
+// seedSeg returns a segment containing v (Figure 5c line 162).
+func seedSeg(size uint64, v uint64) *mqueue {
+	q := newSeg(size)
+	q.cells[0] = mcell{idx: 0, val: v}
+	q.tail = 1
+	return q
+}
+
+// stepList handles the LCRQ wrapper program counters; inner CRQ steps stay
+// in step().
+func stepList(s *state, ti int, cfg Config, now int64) string {
+	t := s.threads[ti]
+	l := s.list
+	switch t.pc {
+	case pcLEnqLoadTail:
+		// Read the tail pointer; help a stalled appender swing it first
+		// (Figure 5c lines 156-158, one step per swing).
+		if l.tail+1 < len(l.segs) {
+			l.tail++
+			return "" // retry the read next step
+		}
+		t.segIdx = l.tail
+		t.pc = pcEnqFAATail
+	case pcLEnqAppend:
+		// CAS the next pointer; on success the tail swings too (coarse).
+		if t.segIdx == len(l.segs)-1 {
+			l.segs = append(l.segs, seedSeg(l.segs[0].size, t.currentOp().Value))
+			l.tail = len(l.segs) - 1
+			t.hist = append(t.hist, opRecord(t, ti, now, true, t.currentOp().Value, true))
+			t.opIdx++
+			t.pc = pcIdle
+			return ""
+		}
+		t.pc = pcLEnqLoadTail // lost the race; retry from the tail
+	case pcLDeqLoadHead:
+		t.segIdx = l.head
+		t.retried = false
+		t.pc = pcDeqFAAHead
+	case pcLDeqCheckNext:
+		// The inner dequeue returned EMPTY. Figure 5b lines 145-148.
+		if t.segIdx+1 >= len(l.segs) {
+			t.hist = append(t.hist, opRecord(t, ti, now, false, 0, false))
+			t.opIdx++
+			t.pc = pcIdle
+			return ""
+		}
+		if !t.retried && cfg.Mutation != MutateNoDecemberFix {
+			// The December 2013 fix: dequeue the head CRQ once more
+			// before swinging past it.
+			t.retried = true
+			t.pc = pcDeqFAAHead
+			return ""
+		}
+		if l.head == t.segIdx {
+			l.head++ // CAS(head, crq, crq.next)
+		}
+		t.pc = pcLDeqLoadHead
+	default:
+		return "invariant: stepList on non-list pc"
+	}
+	return ""
+}
+
+// opRecord builds a completed-operation history entry.
+func opRecord(t *mthread, ti int, now int64, isEnq bool, v uint64, ok bool) linearize.Op {
+	kind := linearize.Deq
+	if isEnq {
+		kind = linearize.Enq
+	}
+	return linearize.Op{Thread: ti, Kind: kind, Value: v, OK: ok, Invoke: t.invoke, Return: now}
+}

@@ -1,0 +1,129 @@
+package model
+
+import (
+	"testing"
+
+	"lcrq/internal/linearize"
+)
+
+// TestLCRQSequentialThroughSegments drives one thread through several
+// segment closes and appends; strict FIFO across segments is required.
+func TestLCRQSequentialThroughSegments(t *testing.T) {
+	ops := []Op{
+		enq(1), enq(2), enq(3), enq(4), enq(5), enq(6),
+		deq(), deq(), deq(), deq(), deq(), deq(), deq(),
+	}
+	res := Explore(Config{
+		RingOrder: 1, // R = 2: six enqueues must span segments
+		LCRQ:      true,
+		Threads:   [][]Op{ops},
+		Fuel:      400,
+	})
+	if res.Violation != "" {
+		t.Fatalf("violation: %s", res.Violation)
+	}
+	if res.Executions != 1 {
+		t.Fatalf("executions = %d", res.Executions)
+	}
+}
+
+// TestLCRQPairExhaustive explores all interleavings of one enqueuer and
+// one dequeuer over the full list machinery.
+func TestLCRQPairExhaustive(t *testing.T) {
+	res := Explore(Config{
+		RingOrder:     1,
+		LCRQ:          true,
+		Threads:       [][]Op{{enq(1)}, {deq()}},
+		Fuel:          50,
+		MaxExecutions: 400_000,
+	})
+	if res.Violation != "" {
+		t.Fatalf("violation: %s", res.Violation)
+	}
+	if res.Executions < 100 {
+		t.Fatalf("only %d executions", res.Executions)
+	}
+	t.Logf("checked %d executions (pruned %d, capped=%v)", res.Executions, res.Pruned, res.Capped)
+}
+
+// decemberSchedule reproduces the lost-item window of the proceedings
+// version of Figure 5 (fixed in the December 2013 revision):
+//
+//  1. a dequeuer drains the only CRQ and stalls right after observing
+//     EMPTY, before examining the next pointer;
+//  2. two enqueuers deposit items into that same (still open) CRQ;
+//  3. a third enqueuer finds the ring full, closes it, and appends a new
+//     segment — so the stalled dequeuer will see next ≠ nil;
+//  4. the dequeuer resumes: with the fix it re-dequeues the head CRQ and
+//     finds the items; without it, it swings the head past them.
+func decemberSchedule(t *testing.T, mutation Mutation) linearize.History {
+	t.Helper()
+	cfg := Config{
+		RingOrder:       1, // R = 2
+		LCRQ:            true,
+		StarvationLimit: 99, // close only via the full-ring check
+		Mutation:        mutation,
+		Threads: [][]Op{
+			{enq(1)},              // T0
+			{enq(2)},              // T1
+			{enq(3)},              // T2: the closer/appender
+			{deq(), deq(), deq()}, // T3: the stalled dequeuer + observers
+		},
+	}
+	d := newDriver(t, cfg)
+
+	d.finishOp(3)                 // T3 deq₁ → EMPTY on the fresh ring
+	d.untilPC(3, pcLDeqCheckNext) // T3 deq₂ drains again, stalls pre-next-check
+	d.finishOp(0)                 // T0 deposits 1 into the drained head CRQ
+	d.finishOp(1)                 // T1 deposits 2
+	d.finishOp(2)                 // T2 sees a full ring, closes, appends seg(3)
+	if len(d.s.list.segs) != 2 {
+		t.Fatalf("schedule setup failed: %d segments", len(d.s.list.segs))
+	}
+	d.finishAll() // T3 resumes across the erratum window
+	return d.history()
+}
+
+func TestDecemberFixDirected(t *testing.T) {
+	hist := decemberSchedule(t, NoMutation)
+	if !linearize.Check(hist) {
+		t.Fatalf("fixed protocol lost items: %v", hist)
+	}
+	// The fix must recover the deposited items in order.
+	var got []uint64
+	for _, op := range hist {
+		if op.Kind == linearize.Deq && op.OK {
+			got = append(got, op.Value)
+		}
+	}
+	if len(got) < 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("re-dequeue did not recover items in order: %v", got)
+	}
+}
+
+func TestDecemberBugDirected(t *testing.T) {
+	hist := decemberSchedule(t, MutateNoDecemberFix)
+	if linearize.Check(hist) {
+		t.Fatalf("proceedings-version bug went unnoticed: %v", hist)
+	}
+}
+
+// TestLCRQAppendRace: two enqueuers racing to append after a close; the
+// loser must retry into the winner's segment, losing nothing.
+func TestLCRQAppendRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large exploration")
+	}
+	res := Explore(Config{
+		RingOrder:       1,
+		LCRQ:            true,
+		StarvationLimit: 2,
+		Threads:         [][]Op{{enq(1), enq(2)}, {enq(3), enq(4)}, {deq(), deq(), deq(), deq()}},
+		Fuel:            70,
+		MaxExecutions:   500_000,
+	})
+	if res.Violation != "" {
+		t.Fatalf("violation: %s", res.Violation)
+	}
+	t.Logf("checked %d executions (pruned %d, capped=%v)", res.Executions, res.Pruned, res.Capped)
+}

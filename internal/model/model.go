@@ -1,0 +1,588 @@
+// Package model is a bounded model checker for the CRQ protocol.
+//
+// It reimplements the CRQ of Figure 3 as an explicit step machine in which
+// every shared-memory access — each F&A, load, CAS2, and T&S — is one
+// atomic step, and exhaustively explores thread interleavings for tiny
+// configurations (small rings, two or three threads, a few operations
+// each). Every completed execution's history is verified with the
+// exhaustive linearizability checker, and protocol invariants (monotone
+// indices, monotone CLOSED bit) are asserted at every state.
+//
+// Unlike the stress tests, which sample schedules the Go runtime happens to
+// produce, the explorer covers *all* schedules within its bounds, including
+// the pathological overtakings (a dequeuer lapping an enqueuer) that have a
+// few-nanosecond window in real time. Mutations (Mutate*) deliberately
+// remove protocol safeguards; the tests assert the explorer then finds a
+// linearizability violation, validating the whole methodology.
+//
+// Exploration is a depth-first search over the scheduler's choices. Paths
+// are fuel-bounded (retry loops would otherwise be infinite) and the
+// explorer caps the number of explored executions, so this is bounded model
+// checking: absence of violations is a guarantee only within the bounds.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"lcrq/internal/linearize"
+)
+
+// Mutation selects a deliberate protocol defect for validation runs.
+type Mutation int
+
+const (
+	// NoMutation checks the faithful protocol.
+	NoMutation Mutation = iota
+	// MutateSkipSafeCheck makes enqueuers ignore the safe bit (they deposit
+	// into unsafe cells without the head ≤ t proof). The paper's §4.1
+	// explains why this loses items: the poisoning dequeuer never returns.
+	MutateSkipSafeCheck
+	// MutateSkipIdxCheck makes enqueuers ignore the cell index bound
+	// (idx ≤ t), allowing a deposit into a cell already poisoned for a
+	// later lap, which duplicates or reorders items.
+	MutateSkipIdxCheck
+	// MutateNoEmptyTransition removes the dequeuer's empty transition, so
+	// a dequeuer that outruns its enqueuer leaves no trace; the matching
+	// enqueuer later deposits into a cell whose dequeuer already returned
+	// EMPTY, losing the item.
+	MutateNoEmptyTransition
+)
+
+// Op is one operation a modeled thread performs.
+type Op struct {
+	Enqueue bool
+	Value   uint64 // enqueue value (must be unique and nonzero)
+}
+
+// Config bounds one exploration.
+type Config struct {
+	RingOrder int // log2 ring size (keep at 1 or 2)
+	Threads   [][]Op
+	// Fuel bounds the total number of steps in one execution path; paths
+	// that exceed it are pruned (they correspond to long retry chains).
+	Fuel int
+	// MaxExecutions caps the number of completed executions checked.
+	MaxExecutions int
+	Mutation      Mutation
+	// StarvationLimit mirrors the implementation's enqueue give-up bound.
+	StarvationLimit int
+	// LCRQ models the full Figure 5 list of CRQs instead of a single ring:
+	// closed enqueues append seeded segments and dequeues follow next
+	// pointers (see lcrq_model.go).
+	LCRQ bool
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	Executions int    // completed executions checked
+	Pruned     int    // paths cut by the fuel bound
+	Capped     bool   // MaxExecutions was reached
+	Violation  string // first violation found ("" if none)
+}
+
+// --- the modeled CRQ state ---
+
+type mcell struct {
+	unsafe bool
+	idx    uint64
+	val    uint64 // 0 encodes ⊥ (model values are nonzero)
+}
+
+type mqueue struct {
+	head   uint64
+	tail   uint64 // counter only
+	closed bool
+	cells  []mcell
+	mask   uint64
+	size   uint64
+}
+
+func (q *mqueue) clone() *mqueue {
+	c := *q
+	c.cells = append([]mcell(nil), q.cells...)
+	return &c
+}
+
+// --- per-thread step machines ---
+
+// Program counters; each value is "about to perform this shared access".
+const (
+	pcIdle = iota
+	// enqueue
+	pcEnqFAATail
+	pcEnqLoadVal
+	pcEnqLoadIdx
+	pcEnqLoadHeadSafe // head load for the unsafe-cell proof
+	pcEnqCAS2
+	pcEnqLoadHeadFull // head load for the full/starving check
+	pcEnqTASClose
+	// dequeue
+	pcDeqFAAHead
+	pcDeqLoadVal
+	pcDeqLoadIdx
+	pcDeqCAS2Deq
+	pcDeqCAS2Unsafe
+	pcDeqCAS2Empty
+	pcDeqLoadTailEmpty
+	// fixState
+	pcFixLoadTail
+	pcFixLoadHead
+	pcFixRecheckTail
+	pcFixCAS
+	// LCRQ wrapper (lcrq_model.go)
+	pcLEnqLoadTail
+	pcLEnqAppend
+	pcLDeqLoadHead
+	pcLDeqCheckNext
+	pcDone
+)
+
+type mthread struct {
+	ops   []Op
+	opIdx int
+	pc    int
+
+	// operation-local registers
+	h, t       uint64 // index obtained from F&A
+	val        uint64 // loaded cell value (0 = ⊥)
+	idx        uint64 // loaded cell index
+	cellUnsafe bool
+	fixT       uint64 // fixState's tail snapshot
+	fixH       uint64
+	tries      int
+	segIdx     int  // LCRQ mode: current list segment
+	retried    bool // LCRQ mode: December-fix re-dequeue performed
+
+	// history recording
+	invoke int64
+	hist   []linearize.Op
+}
+
+func (t *mthread) done() bool { return t.opIdx >= len(t.ops) && t.pc == pcIdle }
+
+func (t *mthread) currentOp() Op { return t.ops[t.opIdx] }
+
+// state is the full system state.
+type state struct {
+	q       *mqueue // single-ring (CRQ) mode
+	list    *mlist  // LCRQ mode
+	threads []*mthread
+	clock   int64
+	steps   int
+}
+
+func (s *state) clone() *state {
+	ns := &state{clock: s.clock, steps: s.steps}
+	if s.q != nil {
+		ns.q = s.q.clone()
+	}
+	if s.list != nil {
+		ns.list = s.list.clone()
+	}
+	ns.threads = make([]*mthread, len(s.threads))
+	for i, t := range s.threads {
+		ct := *t
+		ct.hist = append([]linearize.Op(nil), t.hist...)
+		ns.threads[i] = &ct
+	}
+	return ns
+}
+
+// Explore runs the bounded search and returns its result.
+func Explore(cfg Config) Result {
+	if cfg.RingOrder < 1 {
+		cfg.RingOrder = 1
+	}
+	if cfg.Fuel == 0 {
+		cfg.Fuel = 80
+	}
+	if cfg.MaxExecutions == 0 {
+		cfg.MaxExecutions = 1 << 20
+	}
+	if cfg.StarvationLimit == 0 {
+		cfg.StarvationLimit = 3
+	}
+	size := uint64(1) << cfg.RingOrder
+	init := &state{}
+	if cfg.LCRQ {
+		init.list = &mlist{segs: []*mqueue{newSeg(size)}}
+	} else {
+		init.q = newSeg(size)
+	}
+	for _, ops := range cfg.Threads {
+		init.threads = append(init.threads, &mthread{ops: ops, pc: pcIdle})
+	}
+	e := &explorer{cfg: cfg}
+	e.dfs(init)
+	return e.res
+}
+
+type explorer struct {
+	cfg Config
+	res Result
+}
+
+// Replay runs one directed schedule: each entry names the thread that takes
+// the next shared-memory step. Entries for finished threads are skipped;
+// after the schedule is exhausted, remaining threads run round-robin to
+// completion (bounded by Fuel). It returns the recorded history and the
+// first violation found ("" if the history is linearizable and every
+// invariant held). Replay is how the tests pin down adversarial schedules
+// that are too deep for exhaustive exploration.
+func Replay(cfg Config, schedule []int) (linearize.History, string) {
+	if cfg.RingOrder < 1 {
+		cfg.RingOrder = 1
+	}
+	if cfg.Fuel == 0 {
+		cfg.Fuel = 500
+	}
+	if cfg.StarvationLimit == 0 {
+		cfg.StarvationLimit = 8
+	}
+	size := uint64(1) << cfg.RingOrder
+	s := &state{}
+	if cfg.LCRQ {
+		s.list = &mlist{segs: []*mqueue{newSeg(size)}}
+	} else {
+		s.q = newSeg(size)
+	}
+	for _, ops := range cfg.Threads {
+		s.threads = append(s.threads, &mthread{ops: ops, pc: pcIdle})
+	}
+	for _, ti := range schedule {
+		if ti < 0 || ti >= len(s.threads) || s.threads[ti].done() {
+			continue
+		}
+		if msg := step(s, ti, cfg); msg != "" {
+			return history(s), msg
+		}
+	}
+	for s.steps < cfg.Fuel {
+		progressed := false
+		for ti := range s.threads {
+			if s.threads[ti].done() {
+				continue
+			}
+			progressed = true
+			if msg := step(s, ti, cfg); msg != "" {
+				return history(s), msg
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	h := history(s)
+	for _, t := range s.threads {
+		if !t.done() {
+			return h, "replay: thread did not finish within fuel"
+		}
+	}
+	if !linearize.Check(h) {
+		return h, fmt.Sprintf("non-linearizable history: %v", h)
+	}
+	return h, ""
+}
+
+func history(s *state) linearize.History {
+	var h linearize.History
+	for _, t := range s.threads {
+		h = append(h, t.hist...)
+	}
+	return h
+}
+
+func (e *explorer) dfs(s *state) {
+	if e.res.Violation != "" || e.res.Capped {
+		return
+	}
+	if s.steps > e.cfg.Fuel {
+		e.res.Pruned++
+		return
+	}
+	runnable := 0
+	for ti, t := range s.threads {
+		if t.done() {
+			continue
+		}
+		runnable++
+		ns := s.clone()
+		if msg := step(ns, ti, e.cfg); msg != "" {
+			e.res.Violation = msg
+			return
+		}
+		e.dfs(ns)
+		if e.res.Violation != "" || e.res.Capped {
+			return
+		}
+	}
+	if runnable == 0 {
+		e.res.Executions++
+		if e.res.Executions >= e.cfg.MaxExecutions {
+			e.res.Capped = true
+		}
+		var hist linearize.History
+		for _, t := range s.threads {
+			hist = append(hist, t.hist...)
+		}
+		if !linearize.Check(hist) {
+			sort.Slice(hist, func(i, j int) bool { return hist[i].Invoke < hist[j].Invoke })
+			e.res.Violation = fmt.Sprintf("non-linearizable history: %v", hist)
+		}
+	}
+}
+
+// step executes one shared-memory access of thread ti and returns a
+// violation message if an invariant breaks.
+func step(s *state, ti int, cfg Config) string {
+	t := s.threads[ti]
+	s.steps++
+	s.clock++
+	now := s.clock
+	switch t.pc {
+	case pcLEnqLoadTail, pcLEnqAppend, pcLDeqLoadHead, pcLDeqCheckNext:
+		if msg := stepList(s, ti, cfg, now); msg != "" {
+			return msg
+		}
+		return checkAllInvariants(s)
+	}
+	q := t.queue(s)
+
+	cell := func(i uint64) *mcell { return &q.cells[i&q.mask] }
+
+	record := func(kind linearize.Kind, v uint64, ok bool) {
+		t.hist = append(t.hist, linearize.Op{
+			Thread: ti, Kind: kind, Value: v, OK: ok,
+			Invoke: t.invoke, Return: now,
+		})
+		t.opIdx++
+		t.pc = pcIdle
+	}
+
+	switch t.pc {
+	case pcIdle:
+		// Invoke the next operation; the invocation itself is not a shared
+		// access, so fall through into the first real step.
+		t.invoke = now
+		t.tries = 0
+		t.retried = false
+		switch {
+		case cfg.LCRQ && t.currentOp().Enqueue:
+			t.pc = pcLEnqLoadTail
+		case cfg.LCRQ:
+			t.pc = pcLDeqLoadHead
+		case t.currentOp().Enqueue:
+			t.pc = pcEnqFAATail
+		default:
+			t.pc = pcDeqFAAHead
+		}
+		return step(s, ti, cfg) // consume this scheduling slot on the access
+
+	// ---- enqueue ----
+	case pcEnqFAATail:
+		if q.closed {
+			// F&A on a closed tail still increments the counter; the
+			// closed bit rides along (Figure 3d line 84). In LCRQ mode the
+			// wrapper appends a new segment; standalone, the enqueue
+			// returns CLOSED, which does not change the abstract queue and
+			// is not recorded.
+			q.tail++
+			if cfg.LCRQ {
+				t.pc = pcLEnqAppend
+				return ""
+			}
+			t.opIdx++
+			t.pc = pcIdle
+			return ""
+		}
+		t.t = q.tail
+		q.tail++
+		t.pc = pcEnqLoadVal
+	case pcEnqLoadVal:
+		t.val = cell(t.t).val
+		t.pc = pcEnqLoadIdx
+	case pcEnqLoadIdx:
+		c := cell(t.t)
+		t.idx = c.idx
+		t.cellUnsafe = c.unsafe
+		idxOK := t.idx <= t.t || cfg.Mutation == MutateSkipIdxCheck
+		if t.val == 0 && idxOK {
+			if !t.cellUnsafe || cfg.Mutation == MutateSkipSafeCheck {
+				t.pc = pcEnqCAS2
+			} else {
+				t.pc = pcEnqLoadHeadSafe
+			}
+		} else {
+			t.pc = pcEnqLoadHeadFull
+		}
+	case pcEnqLoadHeadSafe:
+		if q.head <= t.t {
+			t.pc = pcEnqCAS2
+		} else {
+			t.pc = pcEnqLoadHeadFull
+		}
+	case pcEnqCAS2:
+		c := cell(t.t)
+		if c.val == t.val && c.idx == t.idx && c.unsafe == t.cellUnsafe {
+			if c.idx > t.t && cfg.Mutation != MutateSkipIdxCheck {
+				return "invariant: enqueue CAS2 into overtaken cell"
+			}
+			c.unsafe = false
+			c.idx = t.t
+			c.val = t.currentOp().Value
+			record(linearize.Enq, t.currentOp().Value, true)
+			return ""
+		}
+		t.pc = pcEnqLoadHeadFull // CAS2 failed
+	case pcEnqLoadHeadFull:
+		hd := q.head
+		t.tries++
+		if int64(t.t-hd) >= int64(q.size) || t.tries >= cfg.StarvationLimit {
+			t.pc = pcEnqTASClose
+		} else {
+			t.pc = pcEnqFAATail
+		}
+	case pcEnqTASClose:
+		q.closed = true
+		if cfg.LCRQ {
+			t.pc = pcLEnqAppend
+			return ""
+		}
+		// Tantrum semantics: the enqueue returns CLOSED without enqueuing.
+		t.opIdx++
+		t.pc = pcIdle
+
+	// ---- dequeue ----
+	case pcDeqFAAHead:
+		t.h = q.head
+		q.head++
+		t.pc = pcDeqLoadVal
+	case pcDeqLoadVal:
+		t.val = cell(t.h).val
+		t.pc = pcDeqLoadIdx
+	case pcDeqLoadIdx:
+		c := cell(t.h)
+		t.idx = c.idx
+		t.cellUnsafe = c.unsafe
+		switch {
+		case t.idx > t.h:
+			t.pc = pcDeqLoadTailEmpty
+		case t.val != 0 && t.idx == t.h:
+			t.pc = pcDeqCAS2Deq
+		case t.val != 0:
+			t.pc = pcDeqCAS2Unsafe
+		case cfg.Mutation == MutateNoEmptyTransition:
+			t.pc = pcDeqLoadTailEmpty
+		default:
+			t.pc = pcDeqCAS2Empty
+		}
+	case pcDeqCAS2Deq:
+		c := cell(t.h)
+		if c.val == t.val && c.idx == t.idx && c.unsafe == t.cellUnsafe {
+			if c.idx != t.h {
+				return "invariant: dequeue transition on wrong index"
+			}
+			c.idx = t.h + q.size
+			c.val = 0
+			record(linearize.Deq, t.val, true)
+			return ""
+		}
+		t.pc = pcDeqLoadVal
+	case pcDeqCAS2Unsafe:
+		c := cell(t.h)
+		if c.val == t.val && c.idx == t.idx && c.unsafe == t.cellUnsafe {
+			c.unsafe = true
+			t.pc = pcDeqLoadTailEmpty
+			return ""
+		}
+		t.pc = pcDeqLoadVal
+	case pcDeqCAS2Empty:
+		c := cell(t.h)
+		if c.val == t.val && c.idx == t.idx && c.unsafe == t.cellUnsafe {
+			if c.idx < t.h+q.size {
+				c.idx = t.h + q.size
+			}
+			t.pc = pcDeqLoadTailEmpty
+			return ""
+		}
+		t.pc = pcDeqLoadVal
+	case pcDeqLoadTailEmpty:
+		if q.tail <= t.h+1 {
+			t.fixT = 0
+			t.pc = pcFixLoadTail
+		} else {
+			t.pc = pcDeqFAAHead
+		}
+
+	// ---- fixState ----
+	case pcFixLoadTail:
+		t.fixT = q.tail
+		t.pc = pcFixLoadHead
+	case pcFixLoadHead:
+		t.fixH = q.head
+		t.pc = pcFixRecheckTail
+	case pcFixRecheckTail:
+		if q.tail != t.fixT {
+			t.pc = pcFixLoadTail
+			return ""
+		}
+		if t.fixH <= t.fixT {
+			if cfg.LCRQ {
+				t.pc = pcLDeqCheckNext
+				return ""
+			}
+			record(linearize.Deq, 0, false) // EMPTY
+			return ""
+		}
+		t.pc = pcFixCAS
+	case pcFixCAS:
+		if q.tail == t.fixT && !q.closed {
+			q.tail = t.fixH
+			if cfg.LCRQ {
+				t.pc = pcLDeqCheckNext
+				return ""
+			}
+			record(linearize.Deq, 0, false)
+			return ""
+		}
+		if q.closed {
+			// closed tail compares greater than any head; nothing to fix
+			if cfg.LCRQ {
+				t.pc = pcLDeqCheckNext
+				return ""
+			}
+			record(linearize.Deq, 0, false)
+			return ""
+		}
+		t.pc = pcFixLoadTail
+
+	default:
+		return fmt.Sprintf("invariant: unknown pc %d", t.pc)
+	}
+	return checkAllInvariants(s)
+}
+
+// checkAllInvariants checks every ring in the system.
+func checkAllInvariants(s *state) string {
+	if s.list != nil {
+		for _, seg := range s.list.segs {
+			if msg := checkInvariants(seg); msg != "" {
+				return msg
+			}
+		}
+		return ""
+	}
+	return checkInvariants(s.q)
+}
+
+// checkInvariants asserts state well-formedness after every step.
+func checkInvariants(q *mqueue) string {
+	for i := range q.cells {
+		c := &q.cells[i]
+		if c.val != 0 && c.idx&q.mask != uint64(i) {
+			return fmt.Sprintf("invariant: cell %d holds value with foreign index %d", i, c.idx)
+		}
+	}
+	return ""
+}

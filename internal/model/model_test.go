@@ -1,0 +1,149 @@
+package model
+
+import (
+	"testing"
+)
+
+func enq(v uint64) Op { return Op{Enqueue: true, Value: v} }
+func deq() Op         { return Op{} }
+
+// TestSequentialSingleThread sanity-checks the step machines themselves.
+func TestSequentialSingleThread(t *testing.T) {
+	res := Explore(Config{
+		RingOrder: 1,
+		Threads:   [][]Op{{enq(1), enq(2), deq(), deq(), deq()}},
+		Fuel:      200,
+	})
+	if res.Violation != "" {
+		t.Fatalf("violation: %s", res.Violation)
+	}
+	if res.Executions != 1 {
+		t.Fatalf("executions = %d, want 1 (single thread has one schedule)", res.Executions)
+	}
+}
+
+// TestEnqDeqPairExhaustive explores every interleaving of one enqueuer and
+// one dequeuer on a 2-cell ring — including the dequeuer outrunning the
+// enqueuer, the empty transition poisoning the cell, and fixState.
+func TestEnqDeqPairExhaustive(t *testing.T) {
+	res := Explore(Config{
+		RingOrder:     1,
+		Threads:       [][]Op{{enq(1)}, {deq()}},
+		Fuel:          40,
+		MaxExecutions: 1_000_000,
+	})
+	if res.Violation != "" {
+		t.Fatalf("violation: %s", res.Violation)
+	}
+	if res.Executions < 100 {
+		t.Fatalf("only %d executions explored; expected rich interleaving", res.Executions)
+	}
+	t.Logf("checked %d executions (%d pruned, capped=%v)", res.Executions, res.Pruned, res.Capped)
+}
+
+// TestTwoDequeuersOneEnqueuer covers dequeue/dequeue races on one cell:
+// exactly one dequeuer may win the item.
+func TestTwoDequeuersOneEnqueuer(t *testing.T) {
+	res := Explore(Config{
+		RingOrder:     1,
+		Threads:       [][]Op{{enq(1)}, {deq()}, {deq()}},
+		Fuel:          70,
+		MaxExecutions: 1_000_000,
+	})
+	if res.Violation != "" {
+		t.Fatalf("violation: %s", res.Violation)
+	}
+	t.Logf("checked %d executions (%d pruned, capped=%v)", res.Executions, res.Pruned, res.Capped)
+}
+
+// TestEnqEnqDeqDeq covers enqueue/enqueue ordering races combined with a
+// consuming thread.
+func TestEnqEnqDeqDeq(t *testing.T) {
+	res := Explore(Config{
+		RingOrder:     1,
+		Threads:       [][]Op{{enq(1), deq()}, {enq(2), deq()}},
+		Fuel:          90,
+		MaxExecutions: 1_000_000,
+	})
+	if res.Violation != "" {
+		t.Fatalf("violation: %s", res.Violation)
+	}
+	t.Logf("checked %d executions (%d pruned, capped=%v)", res.Executions, res.Pruned, res.Capped)
+}
+
+// TestLapRaceTinyRing forces wraparound races on a 2-cell ring: two
+// enqueues and two dequeues per thread revisit cells across laps,
+// exercising the unsafe transition machinery.
+func TestLapRaceTinyRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large exploration")
+	}
+	res := Explore(Config{
+		RingOrder:     1,
+		Threads:       [][]Op{{enq(1), enq(2)}, {deq(), deq()}},
+		Fuel:          100,
+		MaxExecutions: 1_000_000,
+	})
+	if res.Violation != "" {
+		t.Fatalf("violation: %s", res.Violation)
+	}
+	t.Logf("checked %d executions (%d pruned, capped=%v)", res.Executions, res.Pruned, res.Capped)
+}
+
+// The safe-bit mutation needs three threads and a ~30-step window — beyond
+// exhaustive reach — so it is validated by the directed schedule in
+// directed_test.go (TestSafeBitDirectedMutantCaught) instead.
+
+// TestMutationIdxCheckCaught: ignoring the cell index bound must break.
+func TestMutationIdxCheckCaught(t *testing.T) {
+	res := Explore(Config{
+		RingOrder:     1,
+		Threads:       [][]Op{{enq(1), enq(2)}, {deq(), deq(), deq()}},
+		Fuel:          120,
+		MaxExecutions: 8_000_000,
+		Mutation:      MutateSkipIdxCheck,
+	})
+	if res.Violation == "" {
+		t.Fatalf("mutation not caught in %d executions (pruned %d)", res.Executions, res.Pruned)
+	}
+	t.Logf("caught after %d executions: %s", res.Executions, truncate(res.Violation))
+}
+
+// TestMutationEmptyTransitionCaught: removing the empty transition loses
+// the deposited item, so a later dequeue wrongly reports EMPTY.
+func TestMutationEmptyTransitionCaught(t *testing.T) {
+	res := Explore(Config{
+		RingOrder:     1,
+		Threads:       [][]Op{{enq(1)}, {deq(), deq()}},
+		Fuel:          90,
+		MaxExecutions: 8_000_000,
+		Mutation:      MutateNoEmptyTransition,
+	})
+	if res.Violation == "" {
+		t.Fatalf("mutation not caught in %d executions (pruned %d)", res.Executions, res.Pruned)
+	}
+	t.Logf("caught after %d executions: %s", res.Executions, truncate(res.Violation))
+}
+
+// TestStarvationCloses: with a starvation limit the enqueuer eventually
+// closes the ring instead of spinning forever, and the model handles the
+// CLOSED path.
+func TestStarvationCloses(t *testing.T) {
+	res := Explore(Config{
+		RingOrder:       1,
+		Threads:         [][]Op{{enq(1), enq(2), enq(3), enq(4)}},
+		Fuel:            200,
+		StarvationLimit: 2,
+	})
+	// Ring of 2: the third enqueue fills→closes; no violation either way.
+	if res.Violation != "" {
+		t.Fatalf("violation: %s", res.Violation)
+	}
+}
+
+func truncate(s string) string {
+	if len(s) > 200 {
+		return s[:200] + "..."
+	}
+	return s
+}

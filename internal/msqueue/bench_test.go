@@ -1,0 +1,54 @@
+package msqueue
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func BenchmarkMSSequential(b *testing.B) {
+	q := New()
+	h := &Handle{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(h, uint64(i))
+		q.Dequeue(h)
+	}
+}
+
+func BenchmarkMSParallel(b *testing.B) {
+	q := New()
+	var ids atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		h := &Handle{}
+		v := ids.Add(1) << 32
+		for pb.Next() {
+			v++
+			q.Enqueue(h, v)
+			q.Dequeue(h)
+		}
+	})
+}
+
+func BenchmarkTwoLockSequential(b *testing.B) {
+	q := NewTwoLock()
+	h := &Handle{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(h, uint64(i))
+		q.Dequeue(h)
+	}
+}
+
+func BenchmarkTwoLockParallel(b *testing.B) {
+	q := NewTwoLock()
+	var ids atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		h := &Handle{}
+		v := ids.Add(1) << 32
+		for pb.Next() {
+			v++
+			q.Enqueue(h, v)
+			q.Dequeue(h)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package packedq
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func BenchmarkPackedSequential(b *testing.B) {
+	q := New(12)
+	h := q.NewHandle()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(h, uint32(i))
+		q.Dequeue(h)
+	}
+}
+
+func BenchmarkPackedParallel(b *testing.B) {
+	q := New(12)
+	var ids atomic.Uint32
+	b.RunParallel(func(pb *testing.PB) {
+		h := q.NewHandle()
+		v := ids.Add(1) << 16
+		for pb.Next() {
+			v++
+			q.Enqueue(h, v)
+			q.Dequeue(h)
+		}
+	})
+}
+
+func BenchmarkPackedTinyRingChurn(b *testing.B) {
+	q := New(2) // constant segment churn
+	h := q.NewHandle()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(h, uint32(i)+1)
+		q.Dequeue(h)
+	}
+}

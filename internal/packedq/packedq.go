@@ -1,0 +1,320 @@
+// Package packedq implements PCRQ/PLCRQ: a portable variant of the LCRQ
+// algorithm whose ring cells fit in a single 64-bit word, so the cell
+// protocol needs only plain CompareAndSwapUint64 — no CMPXCHG16B.
+//
+// This is the "no 128-bit CAS" workaround made first-class: on
+// architectures where Go cannot issue a double-width CAS (everything except
+// amd64 in this repository), the packed queue keeps the paper's algorithm
+// lock-free instead of falling back to the striped-lock CAS2 emulation.
+// The price is paid in value width and index range:
+//
+//	bit  63     unsafe flag (0 = safe; inverted so the zero cell is safe)
+//	bits 32..62 low 31 bits of the cell index
+//	bits 0..31  bitwise complement of the 32-bit value (physical 0 = ⊥)
+//
+// Head and tail remain full 64-bit counters; only the per-cell index is
+// truncated, and index comparisons use 31-bit wraparound arithmetic. Inside
+// one ring every live index is within tail−head+R ≤ 2R+T of every other
+// (enqueues close the ring once t−head ≥ R, and dequeues stop once
+// head ≥ tail), so with R ≤ 2^28 the wraparound comparisons are exact
+// unless a thread sleeps mid-operation for more than 2^30 queue operations
+// — the same flavor of bounded assumption the paper itself makes when it
+// reserves 63-bit head/tail counters ("we make the realistic assumption
+// that head and tail do not exceed 2^63").
+//
+// Values are uint32 with 0xFFFFFFFF reserved as ⊥.
+package packedq
+
+import (
+	"sync/atomic"
+
+	"lcrq/internal/instrument"
+	"lcrq/internal/pad"
+)
+
+// Bottom32 is the reserved 32-bit value that cannot be enqueued.
+const Bottom32 = ^uint32(0)
+
+const (
+	unsafeFlag = uint64(1) << 63
+	idxShift   = 32
+	idxMask31  = (uint64(1) << 31) - 1
+	valMask    = (uint64(1) << 32) - 1
+	closedBit  = uint64(1) << 63
+
+	// MaxRingOrder keeps 2R well under the 2^30 wraparound safety bound.
+	MaxRingOrder = 28
+)
+
+// pack builds a cell word from its logical parts.
+func pack(unsafeF bool, idx uint64, val uint32) uint64 {
+	w := (idx&idxMask31)<<idxShift | uint64(^val)
+	if unsafeF {
+		w |= unsafeFlag
+	}
+	return w
+}
+
+// unpack splits a cell word.
+func unpack(w uint64) (unsafeF bool, idx31 uint64, val uint32) {
+	return w&unsafeFlag != 0, (w >> idxShift) & idxMask31, ^uint32(w & valMask)
+}
+
+// cmp31 returns the sign of (a - b) under 31-bit wraparound: negative,
+// zero, or positive as a is behind, equal to, or ahead of b.
+func cmp31(a31, bFull uint64) int {
+	d := int32((uint32(a31)-uint32(bFull&idxMask31))<<1) >> 1
+	switch {
+	case d < 0:
+		return -1
+	case d > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+type cell struct {
+	w atomic.Uint64
+	_ [pad.CacheLine - 8]byte
+}
+
+// PCRQ is the packed single-word-cell ring: a tantrum queue like core.CRQ.
+type PCRQ struct {
+	head atomic.Uint64
+	_    pad.Pad
+	tail atomic.Uint64
+	_    pad.Pad
+	next atomic.Pointer[PCRQ]
+	_    pad.Pad
+
+	ring []cell
+	mask uint64
+	size uint64
+
+	starvation int
+	spinWait   int
+}
+
+// clampOrder bounds a requested ring order to [1, MaxRingOrder].
+func clampOrder(order int) int {
+	if order < 1 {
+		return 1
+	}
+	if order > MaxRingOrder {
+		return MaxRingOrder
+	}
+	return order
+}
+
+// NewPCRQ returns an empty packed ring of 2^order cells.
+func NewPCRQ(order int) *PCRQ {
+	order = clampOrder(order)
+	q := &PCRQ{starvation: 64, spinWait: 64}
+	q.size = 1 << order
+	q.mask = q.size - 1
+	q.ring = make([]cell, q.size) // zero cell = (safe, idx 0, ⊥)
+	return q
+}
+
+func (q *PCRQ) cell(i uint64) *cell { return &q.ring[i&q.mask] }
+
+// seed installs v as the only element; requires exclusive access.
+func (q *PCRQ) seed(v uint32) {
+	q.ring[0].w.Store(pack(false, 0, v))
+	q.tail.Store(1)
+}
+
+// Closed reports whether the ring is closed to enqueues.
+func (q *PCRQ) Closed() bool { return q.tail.Load()&closedBit != 0 }
+
+// Enqueue attempts to append v; false means CLOSED.
+func (q *PCRQ) Enqueue(h *instrument.Counters, v uint32) bool {
+	if v == Bottom32 {
+		panic("packedq: enqueue of reserved value")
+	}
+	tries := 0
+	for {
+		h.FAA++
+		tc := q.tail.Add(1) - 1
+		if tc&closedBit != 0 {
+			return false
+		}
+		t := tc
+		c := q.cell(t)
+		w := c.w.Load()
+		unsafeF, idx, val := unpack(w)
+		if val == Bottom32 {
+			if cmp31(idx, t) <= 0 && (!unsafeF || q.head.Load() <= t) {
+				h.CAS++
+				if c.w.CompareAndSwap(w, pack(false, t, v)) {
+					return true
+				}
+				h.CASFail++
+			}
+		}
+		hd := q.head.Load()
+		tries++
+		if int64(t-hd) >= int64(q.size) || tries >= q.starvation {
+			h.TAS++
+			h.Closes++
+			q.tail.Or(closedBit)
+			return false
+		}
+		h.CellRetries++
+	}
+}
+
+// Dequeue removes and returns the oldest value; ok=false means empty.
+func (q *PCRQ) Dequeue(h *instrument.Counters) (v uint32, ok bool) {
+	for {
+		h.FAA++
+		hIdx := q.head.Add(1) - 1
+		c := q.cell(hIdx)
+		spins := q.spinWait
+		for {
+			w := c.w.Load()
+			unsafeF, idx, val := unpack(w)
+			if cmp31(idx, hIdx) > 0 {
+				break
+			}
+			if val != Bottom32 {
+				if cmp31(idx, hIdx) == 0 {
+					h.CAS++
+					if c.w.CompareAndSwap(w, pack(unsafeF, hIdx+q.size, Bottom32)) {
+						return val, true
+					}
+					h.CASFail++
+				} else {
+					h.CAS++
+					if c.w.CompareAndSwap(w, pack(true, idx, val)) {
+						h.UnsafeTrans++
+						break
+					}
+					h.CASFail++
+				}
+			} else {
+				if spins > 0 && q.tail.Load()&^closedBit > hIdx {
+					spins--
+					h.SpinWaits++
+					continue
+				}
+				h.CAS++
+				if c.w.CompareAndSwap(w, pack(unsafeF, hIdx+q.size, Bottom32)) {
+					h.EmptyTrans++
+					break
+				}
+				h.CASFail++
+			}
+		}
+		t := q.tail.Load() &^ closedBit
+		if t <= hIdx+1 {
+			q.fixState(h)
+			return Bottom32, false
+		}
+		h.CellRetries++
+	}
+}
+
+func (q *PCRQ) fixState(h *instrument.Counters) {
+	for {
+		t := q.tail.Load()
+		hd := q.head.Load()
+		if q.tail.Load() != t {
+			continue
+		}
+		if hd <= t {
+			return
+		}
+		h.CAS++
+		if q.tail.CompareAndSwap(t, hd) {
+			return
+		}
+		h.CASFail++
+	}
+}
+
+// Queue is the packed LCRQ: a list of PCRQs. Retired rings are left to the
+// garbage collector (no hazard pointers are needed for safety in Go, and
+// the portable variant favors simplicity over ring reuse).
+type Queue struct {
+	head  atomic.Pointer[PCRQ]
+	_     pad.Line
+	tail  atomic.Pointer[PCRQ]
+	_     pad.Line
+	order int
+}
+
+// New returns an empty packed queue with 2^order cells per ring segment.
+func New(order int) *Queue {
+	q := &Queue{order: order}
+	first := NewPCRQ(order)
+	q.head.Store(first)
+	q.tail.Store(first)
+	return q
+}
+
+// Handle carries a thread's counters (the packed queue needs no other
+// per-thread state).
+type Handle struct {
+	C instrument.Counters
+}
+
+// NewHandle returns a fresh handle.
+func (q *Queue) NewHandle() *Handle { return &Handle{} }
+
+// Enqueue appends v. v must not be Bottom32.
+func (q *Queue) Enqueue(h *Handle, v uint32) {
+	for {
+		crq := q.tail.Load()
+		if next := crq.next.Load(); next != nil {
+			h.C.CAS++
+			if !q.tail.CompareAndSwap(crq, next) {
+				h.C.CASFail++
+			}
+			continue
+		}
+		if crq.Enqueue(&h.C, v) {
+			h.C.Enqueues++
+			return
+		}
+		newcrq := NewPCRQ(q.order)
+		newcrq.seed(v)
+		h.C.CAS++
+		if crq.next.CompareAndSwap(nil, newcrq) {
+			h.C.CAS++
+			if !q.tail.CompareAndSwap(crq, newcrq) {
+				h.C.CASFail++
+			}
+			h.C.Appends++
+			h.C.Enqueues++
+			return
+		}
+		h.C.CASFail++
+	}
+}
+
+// Dequeue removes and returns the oldest value; ok=false means empty.
+// Includes the December-2013 re-check before swinging the head.
+func (q *Queue) Dequeue(h *Handle) (v uint32, ok bool) {
+	for {
+		crq := q.head.Load()
+		if v, ok := crq.Dequeue(&h.C); ok {
+			h.C.Dequeues++
+			return v, true
+		}
+		if crq.next.Load() == nil {
+			h.C.Dequeues++
+			h.C.Empty++
+			return Bottom32, false
+		}
+		if v, ok := crq.Dequeue(&h.C); ok {
+			h.C.Dequeues++
+			return v, true
+		}
+		h.C.CAS++
+		if !q.head.CompareAndSwap(crq, crq.next.Load()) {
+			h.C.CASFail++
+		}
+	}
+}

@@ -1,0 +1,278 @@
+package packedq
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"lcrq/internal/instrument"
+	"lcrq/internal/linearize"
+	"lcrq/internal/xrand"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(unsafeF bool, idx uint64, val uint32) bool {
+		idx &= idxMask31
+		if val == Bottom32 {
+			val = 0
+		}
+		u, i, v := unpack(pack(unsafeF, idx, val))
+		return u == unsafeF && i == idx && v == val
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroCellIsInitialState(t *testing.T) {
+	unsafeF, idx, val := unpack(0)
+	if unsafeF || idx != 0 || val != Bottom32 {
+		t.Fatalf("zero cell = (unsafe=%v, idx=%d, val=%#x)", unsafeF, idx, val)
+	}
+}
+
+func TestCmp31(t *testing.T) {
+	cases := []struct {
+		a31, b uint64
+		want   int
+	}{
+		{0, 0, 0},
+		{5, 3, 1},
+		{3, 5, -1},
+		{0, idxMask31, 1},            // wraparound: 0 is just ahead of 2^31-1
+		{idxMask31, 0, -1},           // and 2^31-1 just behind 0
+		{100, (1 << 31) + 100, 0},    // equal mod 2^31
+		{(1 << 31) - 1, 1 << 31, -1}, // adjacent across the boundary
+	}
+	for _, c := range cases {
+		if got := cmp31(c.a31&idxMask31, c.b); got != c.want {
+			t.Fatalf("cmp31(%d, %d) = %d, want %d", c.a31, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPCRQSequential(t *testing.T) {
+	q := NewPCRQ(3)
+	var c instrument.Counters
+	for i := uint32(0); i < 8; i++ {
+		if !q.Enqueue(&c, i+1) {
+			t.Fatal("closed early")
+		}
+	}
+	for i := uint32(0); i < 8; i++ {
+		v, ok := q.Dequeue(&c)
+		if !ok || v != i+1 {
+			t.Fatalf("got (%d,%v), want %d", v, ok, i+1)
+		}
+	}
+	if _, ok := q.Dequeue(&c); ok {
+		t.Fatal("empty ring returned value")
+	}
+}
+
+func TestPCRQTantrum(t *testing.T) {
+	q := NewPCRQ(2) // R = 4
+	var c instrument.Counters
+	n := 0
+	for i := uint32(0); i < 100; i++ {
+		if !q.Enqueue(&c, i+1) {
+			break
+		}
+		n++
+	}
+	if n != 4 || !q.Closed() {
+		t.Fatalf("accepted %d, closed=%v", n, q.Closed())
+	}
+	for i := uint32(0); i < 4; i++ {
+		if v, ok := q.Dequeue(&c); !ok || v != i+1 {
+			t.Fatalf("drain got (%d,%v)", v, ok)
+		}
+	}
+}
+
+func TestPCRQOrderClamped(t *testing.T) {
+	if clampOrder(99) != MaxRingOrder {
+		t.Fatal("order not clamped down")
+	}
+	if clampOrder(-1) != 1 {
+		t.Fatal("order not clamped up")
+	}
+	if NewPCRQ(-1).size != 2 {
+		t.Fatal("clamped ring has wrong size")
+	}
+}
+
+func TestQueueReservedPanics(t *testing.T) {
+	q := New(3)
+	h := q.NewHandle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	q.Enqueue(h, Bottom32)
+}
+
+func TestQueueUnbounded(t *testing.T) {
+	q := New(2) // tiny rings force appends
+	h := q.NewHandle()
+	const n = 2000
+	for i := uint32(0); i < n; i++ {
+		q.Enqueue(h, i+1)
+	}
+	for i := uint32(0); i < n; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i+1 {
+			t.Fatalf("got (%d,%v), want %d", v, ok, i+1)
+		}
+	}
+	if h.C.Appends == 0 {
+		t.Fatal("expected appends")
+	}
+}
+
+func TestQueueModel(t *testing.T) {
+	f := func(ops []byte) bool {
+		q := New(2)
+		h := q.NewHandle()
+		var model []uint32
+		next := uint32(1)
+		for _, op := range ops {
+			if op%2 == 0 {
+				q.Enqueue(h, next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := q.Dequeue(h)
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else if !ok || v != model[0] {
+					return false
+				} else {
+					model = model[1:]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueConcurrent(t *testing.T) {
+	q := New(4)
+	const producers, consumers, per = 4, 4, 3000
+	var wg sync.WaitGroup
+	var count atomic.Int64
+	seen := make([][]uint32, consumers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			h := q.NewHandle()
+			for i := 0; i < per; i++ {
+				q.Enqueue(h, uint32(p)<<16|uint32(i))
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			h := q.NewHandle()
+			for count.Load() < producers*per {
+				if v, ok := q.Dequeue(h); ok {
+					seen[c] = append(seen[c], v)
+					count.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	all := map[uint32]int{}
+	for _, s := range seen {
+		for _, v := range s {
+			all[v]++
+		}
+	}
+	if len(all) != producers*per {
+		t.Fatalf("distinct = %d, want %d", len(all), producers*per)
+	}
+	for v, n := range all {
+		if n != 1 {
+			t.Fatalf("value %#x seen %d times", v, n)
+		}
+	}
+	for c, s := range seen {
+		last := map[uint32]int64{}
+		for _, v := range s {
+			p, i := v>>16, int64(v&0xffff)
+			if prev, ok := last[p]; ok && i <= prev {
+				t.Fatalf("consumer %d: producer %d out of order", c, p)
+			}
+			last[p] = i
+		}
+	}
+}
+
+func TestQueueLinearizable(t *testing.T) {
+	const threads, opsEach, rounds = 3, 8, 30
+	for round := 0; round < rounds; round++ {
+		q := New(2)
+		rec := linearize.NewRecorder(threads)
+		var wg sync.WaitGroup
+		var nextVal atomic.Uint32
+		for th := 0; th < threads; th++ {
+			wg.Add(1)
+			go func(th int) {
+				defer wg.Done()
+				h := q.NewHandle()
+				rng := xrand.New(uint64(round*threads + th + 1))
+				for i := 0; i < opsEach; i++ {
+					if rng.Uintn(2) == 0 {
+						v := nextVal.Add(1)
+						inv := rec.Now()
+						q.Enqueue(h, v)
+						ret := rec.Now()
+						rec.Append(th, linearize.Op{
+							Kind: linearize.Enq, Value: uint64(v), Invoke: inv, Return: ret,
+						})
+					} else {
+						inv := rec.Now()
+						v, ok := q.Dequeue(h)
+						ret := rec.Now()
+						rec.Append(th, linearize.Op{
+							Kind: linearize.Deq, Value: uint64(v), OK: ok, Invoke: inv, Return: ret,
+						})
+					}
+				}
+			}(th)
+		}
+		wg.Wait()
+		if !linearize.Check(rec.History()) {
+			t.Fatalf("round %d: non-linearizable history", round)
+		}
+	}
+}
+
+func TestWraparoundStress(t *testing.T) {
+	// Drive a tiny ring through far more than 2^31 *cell-local* index space
+	// is impossible in a test, but we can at least push the low bits of the
+	// index across several wraps of a small modulus by using a tiny ring
+	// and many operations — every comparison stays within the documented
+	// safe window and FIFO order must hold throughout.
+	q := New(1) // R = 2
+	h := q.NewHandle()
+	const n = 50000
+	for i := 0; i < n; i++ {
+		q.Enqueue(h, uint32(i%1000)+1)
+		v, ok := q.Dequeue(h)
+		if !ok || v != uint32(i%1000)+1 {
+			t.Fatalf("iter %d: (%d,%v)", i, v, ok)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package packedq
+
+import (
+	"testing"
+
+	"lcrq/internal/instrument"
+)
+
+// TestQueueHelpsStalledAppend reproduces the half-finished segment append
+// (next linked, tail not swung): the following operation must complete the
+// swing before proceeding.
+func TestQueueHelpsStalledAppend(t *testing.T) {
+	q := New(2)
+	h := q.NewHandle()
+	q.Enqueue(h, 1)
+	// Simulate a stalled appender.
+	stalledSeg := NewPCRQ(2)
+	stalledSeg.seed(99)
+	q.tail.Load().next.Store(stalledSeg)
+
+	casBefore := h.C.CAS
+	q.Enqueue(h, 2) // must swing tail to stalledSeg first, then enqueue there
+	if h.C.CAS <= casBefore {
+		t.Fatal("no helping CAS issued")
+	}
+	// Old segment still holds 1; the seeded segment holds 99 then 2.
+	want := []uint32{1, 99, 2}
+	for _, w := range want {
+		v, ok := q.Dequeue(h)
+		if !ok || v != w {
+			t.Fatalf("got (%d,%v), want %d", v, ok, w)
+		}
+	}
+}
+
+// TestPCRQUnsafeTransition drives the lap-ahead dequeuer path directly.
+func TestPCRQUnsafeTransition(t *testing.T) {
+	q := NewPCRQ(1) // R = 2
+	q.spinWait = 0
+	var c instrument.Counters
+	if !q.Enqueue(&c, 11) {
+		t.Fatal("enqueue failed")
+	}
+	// Force a dequeuer one lap ahead (index 2 maps to cell 0, idx 0 < 2).
+	q.head.Store(2)
+	q.tail.Store(3)
+	q.Dequeue(&c)
+	if c.UnsafeTrans == 0 {
+		t.Fatal("unsafe transition not taken")
+	}
+	unsafeF, idx, val := unpack(q.ring[0].w.Load())
+	if !unsafeF || idx != 0 || val != 11 {
+		t.Fatalf("cell0 = (unsafe=%v, idx=%d, val=%d)", unsafeF, idx, val)
+	}
+}
+
+// TestPCRQSpinWait covers the bounded wait for a matching enqueuer.
+func TestPCRQSpinWait(t *testing.T) {
+	q := NewPCRQ(1)
+	q.spinWait = 7
+	var c instrument.Counters
+	q.tail.Add(1) // an enqueuer's F&A happened but no deposit yet
+	if _, ok := q.Dequeue(&c); ok {
+		t.Fatal("no value should be found")
+	}
+	if c.SpinWaits != 7 {
+		t.Fatalf("SpinWaits = %d, want 7", c.SpinWaits)
+	}
+}
+
+// TestPCRQUnsafeCellRefusal: an enqueuer must not deposit into an unsafe
+// cell once head has passed its index, and the starvation limit closes the
+// ring.
+func TestPCRQUnsafeCellRefusal(t *testing.T) {
+	q := NewPCRQ(1)
+	q.starvation = 3
+	var c instrument.Counters
+	q.ring[0].w.Store(pack(true, 0, Bottom32))
+	q.ring[1].w.Store(pack(true, 0, Bottom32))
+	q.head.Store(4)
+	if q.Enqueue(&c, 9) {
+		t.Fatal("deposited into a doomed unsafe cell")
+	}
+	if !q.Closed() {
+		t.Fatal("ring should have closed")
+	}
+}
+
+// TestPCRQUnsafeCellRecovery: with head ≤ t the deposit into an unsafe
+// cell is legal and re-safes it.
+func TestPCRQUnsafeCellRecovery(t *testing.T) {
+	q := NewPCRQ(1)
+	var c instrument.Counters
+	q.ring[0].w.Store(pack(true, 0, Bottom32))
+	if !q.Enqueue(&c, 42) {
+		t.Fatal("legal deposit refused")
+	}
+	unsafeF, idx, val := unpack(q.ring[0].w.Load())
+	if unsafeF || idx != 0 || val != 42 {
+		t.Fatalf("cell0 = (unsafe=%v, idx=%d, val=%d)", unsafeF, idx, val)
+	}
+	if v, ok := q.Dequeue(&c); !ok || v != 42 {
+		t.Fatalf("got (%d,%v)", v, ok)
+	}
+}

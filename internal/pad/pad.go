@@ -1,0 +1,24 @@
+// Package pad provides cache-line padding primitives used to prevent false
+// sharing between frequently mutated shared words.
+//
+// The LCRQ paper places the CRQ head, tail, next pointer, and every ring node
+// on distinct cache lines; the padding types here are how the rest of this
+// repository expresses that layout.
+package pad
+
+// CacheLine is the assumed size in bytes of one cache line. 64 bytes is
+// correct for every x86 processor the paper targets.
+const CacheLine = 64
+
+// FalseSharingRange is the stride used to fully isolate hot words. Modern
+// Intel parts prefetch cache lines in adjacent pairs, so 128 bytes is the
+// conservative distance (this matches what the Go runtime itself uses).
+const FalseSharingRange = 128
+
+// Pad is filler sized so that a 64-bit word followed by a Pad occupies one
+// full false-sharing range.
+type Pad [FalseSharingRange - 8]byte
+
+// Line is a full false-sharing range of filler, for separating adjacent
+// struct fields regardless of their size.
+type Line [FalseSharingRange]byte

@@ -1,0 +1,222 @@
+package render
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"lcrq/internal/harness"
+	"lcrq/internal/hist"
+)
+
+func sampleFigure() *harness.FigureResult {
+	return &harness.FigureResult{
+		Spec: harness.FigureSpec{
+			ID: "6a", Title: "Test figure",
+			Queues: []string{"lcrq", "ms-queue"},
+		},
+		Scale: harness.Scale{Pairs: 100, Runs: 2},
+		Series: []harness.Series{
+			{Queue: "lcrq", Points: []harness.Point{{X: 1, Mops: 1.5}, {X: 2, Mops: 3.25}}},
+			{Queue: "ms-queue", Points: []harness.Point{{X: 1, Mops: 1.0}, {X: 2, Mops: 0.5}}},
+		},
+		HostCPUs: 4, HostPkgs: 1, Simulated: true, Pinned: true,
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	var b strings.Builder
+	Figure(&b, sampleFigure())
+	out := b.String()
+	for _, want := range []string{"Figure 6a", "Test figure", "lcrq", "ms-queue",
+		"3.250", "0.500", "SIMULATED", "pinned", "4 CPUs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureCSV(t *testing.T) {
+	var b strings.Builder
+	FigureCSV(&b, sampleFigure())
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3:\n%s", len(lines), b.String())
+	}
+	if lines[0] != "threads,lcrq,ms-queue" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "2,3.2500,0.5000") {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestEmptyFigureDoesNotPanic(t *testing.T) {
+	var b strings.Builder
+	empty := &harness.FigureResult{Spec: harness.FigureSpec{ID: "x"}}
+	Figure(&b, empty)
+	FigureCSV(&b, empty)
+	Chart(&b, empty, 10)
+}
+
+func TestLatencyTable(t *testing.T) {
+	h1, h2 := &hist.H{}, &hist.H{}
+	for i := int64(1); i <= 1000; i++ {
+		h1.Record(i * 10)  // up to 10 µs
+		h2.Record(i * 100) // up to 100 µs
+	}
+	res := &harness.LatencyResult{
+		Spec: harness.LatencySpec{ID: "8a", Title: "Latency test",
+			Queues: []string{"fast", "slow"}},
+		Series: []harness.CDFSeries{
+			{Queue: "fast", Hist: h1, MeanNs: h1.Mean()},
+			{Queue: "slow", Hist: h2, MeanNs: h2.Mean()},
+		},
+	}
+	var b strings.Builder
+	Latency(&b, res)
+	out := b.String()
+	for _, want := range []string{"Figure 8a", "fast", "slow", "p97", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRingSweepTable(t *testing.T) {
+	res := &harness.RingSweepResult{
+		Spec: harness.RingSweepSpec{ID: "9a", Title: "Sweep", Queue: "lcrq"},
+		Swept: harness.Series{Queue: "lcrq", Points: []harness.Point{
+			{X: 3, Mops: 1}, {X: 17, Mops: 2},
+		}},
+		References: []harness.Point{{Mops: 1.5}},
+		RefNames:   []string{"cc-queue"},
+	}
+	var b strings.Builder
+	RingSweep(&b, res)
+	out := b.String()
+	for _, want := range []string{"2^3", "2^17", "cc-queue (ref)", "1.500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsTable(t *testing.T) {
+	res := &harness.TableResult{
+		Spec: harness.TableSpec{ID: "3", Title: "Stats", Prefills: []int{0, 100}},
+		Cells: []harness.TableCell{
+			{Queue: "lcrq", Threads: 8, Prefill: 0, LatencyUs: 1.25,
+				AtomicsPerOp: 2, CASFailPerOp: 0.125, Mops: 4},
+			{Queue: "lcrq", Threads: 8, Prefill: 100, LatencyUs: 1.5,
+				AtomicsPerOp: 2, CASFailPerOp: 0.25, Mops: 3},
+		},
+	}
+	var b strings.Builder
+	Table(&b, res)
+	out := b.String()
+	for _, want := range []string{"Table 3", "8 thr, empty", "8 thr, full",
+		"1.250", "0.125", "substituted"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChart(t *testing.T) {
+	var b strings.Builder
+	Chart(&b, sampleFigure(), 8)
+	out := b.String()
+	if !strings.Contains(out, "A = lcrq") || !strings.Contains(out, "B = ms-queue") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "threads") {
+		t.Fatalf("x axis missing:\n%s", out)
+	}
+	// The top row must contain the max series marker.
+	if !strings.Contains(out, "3.25 Mops/s") {
+		t.Fatalf("y scale missing:\n%s", out)
+	}
+}
+
+func TestFmtNs(t *testing.T) {
+	cases := map[int64]string{
+		5:          "5 ns",
+		1500:       "1.5 µs",
+		2_500_000:  "2.5 ms",
+		12_000_000: "12 ms",
+	}
+	for in, want := range cases {
+		if got := fmtNs(in); got != want {
+			t.Fatalf("fmtNs(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestJSONFigure(t *testing.T) {
+	var b strings.Builder
+	if err := JSONFigure(&b, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if out["figure"] != "6a" || out["simulated"] != true {
+		t.Fatalf("fields: %v", out)
+	}
+}
+
+func TestJSONLatency(t *testing.T) {
+	h := &hist.H{}
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 100)
+	}
+	res := &harness.LatencyResult{
+		Spec:   harness.LatencySpec{ID: "8a"},
+		Series: []harness.CDFSeries{{Queue: "lcrq", Hist: h, MeanNs: h.Mean()}},
+	}
+	var b strings.Builder
+	if err := JSONLatency(&b, res); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Series []struct {
+			Queue     string           `json:"queue"`
+			Quantiles map[string]int64 `json:"quantiles_ns"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Series) != 1 || out.Series[0].Quantiles["p50"] <= 0 {
+		t.Fatalf("series: %+v", out.Series)
+	}
+}
+
+func TestJSONRingSweepAndTable(t *testing.T) {
+	var b strings.Builder
+	sweep := &harness.RingSweepResult{
+		Spec:       harness.RingSweepSpec{ID: "9a", Queue: "lcrq"},
+		Swept:      harness.Series{Queue: "lcrq", Points: []harness.Point{{X: 3, Mops: 1}}},
+		References: []harness.Point{{Mops: 2}},
+		RefNames:   []string{"cc-queue"},
+	}
+	if err := JSONRingSweep(&b, sweep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "\"cc-queue\": 2") {
+		t.Fatalf("sweep json: %s", b.String())
+	}
+	b.Reset()
+	table := &harness.TableResult{
+		Spec:  harness.TableSpec{ID: "2"},
+		Cells: []harness.TableCell{{Queue: "lcrq", Threads: 1, Mops: 5}},
+	}
+	if err := JSONTable(&b, table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "\"Mops\": 5") {
+		t.Fatalf("table json: %s", b.String())
+	}
+}

@@ -1,0 +1,45 @@
+package simqueue
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func BenchmarkSimSequential(b *testing.B) {
+	q := New()
+	h := q.NewHandle()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(h, uint64(i))
+		q.Dequeue(h)
+	}
+}
+
+// BenchmarkSimParallel uses explicit goroutines because handles are a
+// bounded resource (one toggle bit each).
+func BenchmarkSimParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	q := New()
+	per := b.N / workers
+	if per < 1 {
+		per = 1
+	}
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		h := q.NewHandle()
+		go func(h *Handle, w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(h, uint64(w)<<32|uint64(i))
+				q.Dequeue(h)
+			}
+		}(h, w)
+	}
+	wg.Wait()
+}

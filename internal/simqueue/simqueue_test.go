@@ -1,0 +1,256 @@
+package simqueue
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"lcrq/internal/linearize"
+	"lcrq/internal/xrand"
+)
+
+func TestSequentialFIFO(t *testing.T) {
+	q := New()
+	h := q.NewHandle()
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("fresh queue not empty")
+	}
+	for i := uint64(0); i < 200; i++ {
+		q.Enqueue(h, i)
+	}
+	for i := uint64(0); i < 200; i++ {
+		v, ok := q.Dequeue(h)
+		if !ok || v != i {
+			t.Fatalf("got (%d,%v), want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(h); ok {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestModelEquivalence(t *testing.T) {
+	f := func(ops []byte) bool {
+		q := New()
+		h := q.NewHandle()
+		var model []uint64
+		next := uint64(1)
+		for _, op := range ops {
+			if op%2 == 0 {
+				q.Enqueue(h, next)
+				model = append(model, next)
+				next++
+			} else {
+				v, ok := q.Dequeue(h)
+				if len(model) == 0 {
+					if ok {
+						return false
+					}
+				} else if !ok || v != model[0] {
+					return false
+				} else {
+					model = model[1:]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleLimit(t *testing.T) {
+	q := New()
+	for i := 0; i < MaxHandles; i++ {
+		q.NewHandle()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic past MaxHandles")
+		}
+	}()
+	q.NewHandle()
+}
+
+func TestToggleFlipExact(t *testing.T) {
+	q := New()
+	h := q.NewHandle()
+	h2 := q.NewHandle()
+	// Interleave flips of two handles; each flip must change exactly its
+	// own bit.
+	var w atomic.Uint64
+	for i := 0; i < 10; i++ {
+		before := w.Load()
+		h.flip(&w, &h.enqToggle)
+		after := w.Load()
+		if before^after != h.bit {
+			t.Fatalf("flip changed %#x, want %#x", before^after, h.bit)
+		}
+		before = after
+		h2.flip(&w, &h2.enqToggle)
+		after = w.Load()
+		if before^after != h2.bit {
+			t.Fatalf("flip changed %#x, want %#x", before^after, h2.bit)
+		}
+	}
+}
+
+func TestConcurrentNoLossNoDup(t *testing.T) {
+	const producers, consumers, per = 4, 4, 2000
+	q := New()
+	var wg sync.WaitGroup
+	var count atomic.Int64
+	seen := make([][]uint64, consumers)
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		h := q.NewHandle()
+		go func(p int, h *Handle) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(h, uint64(p)<<32|uint64(i))
+			}
+		}(p, h)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		h := q.NewHandle()
+		go func(c int, h *Handle) {
+			defer wg.Done()
+			for count.Load() < producers*per {
+				if v, ok := q.Dequeue(h); ok {
+					seen[c] = append(seen[c], v)
+					count.Add(1)
+				}
+			}
+		}(c, h)
+	}
+	wg.Wait()
+	all := map[uint64]int{}
+	for _, s := range seen {
+		for _, v := range s {
+			all[v]++
+		}
+	}
+	if len(all) != producers*per {
+		t.Fatalf("distinct = %d, want %d", len(all), producers*per)
+	}
+	for v, n := range all {
+		if n != 1 {
+			t.Fatalf("value %#x seen %d times", v, n)
+		}
+	}
+	for c, s := range seen {
+		last := map[uint64]int64{}
+		for _, v := range s {
+			p, i := v>>32, int64(v&0xffffffff)
+			if prev, ok := last[p]; ok && i <= prev {
+				t.Fatalf("consumer %d: producer %d out of order", c, p)
+			}
+			last[p] = i
+		}
+	}
+}
+
+func TestLinearizable(t *testing.T) {
+	const threads, opsEach, rounds = 3, 8, 40
+	for round := 0; round < rounds; round++ {
+		q := New()
+		rec := linearize.NewRecorder(threads)
+		var wg sync.WaitGroup
+		var nextVal atomic.Uint64
+		handles := make([]*Handle, threads)
+		for th := range handles {
+			handles[th] = q.NewHandle()
+		}
+		for th := 0; th < threads; th++ {
+			wg.Add(1)
+			go func(th int) {
+				defer wg.Done()
+				h := handles[th]
+				rng := xrand.New(uint64(round*threads + th + 1))
+				for i := 0; i < opsEach; i++ {
+					if rng.Uintn(2) == 0 {
+						v := nextVal.Add(1)
+						inv := rec.Now()
+						q.Enqueue(h, v)
+						ret := rec.Now()
+						rec.Append(th, linearize.Op{
+							Kind: linearize.Enq, Value: v, Invoke: inv, Return: ret,
+						})
+					} else {
+						inv := rec.Now()
+						v, ok := q.Dequeue(h)
+						ret := rec.Now()
+						rec.Append(th, linearize.Op{
+							Kind: linearize.Deq, Value: v, OK: ok, Invoke: inv, Return: ret,
+						})
+					}
+				}
+			}(th)
+		}
+		wg.Wait()
+		hist := rec.History()
+		if !linearize.Check(hist) {
+			for _, op := range hist {
+				t.Logf("%s", op)
+			}
+			t.Fatalf("round %d: non-linearizable history", round)
+		}
+	}
+}
+
+func TestCombinerBatching(t *testing.T) {
+	// With heavy concurrency, at least some operations should be applied in
+	// batches (Combined > CombinerRuns would show multi-op windows), and
+	// every operation must be counted exactly once overall.
+	const workers, per = 8, 2000
+	q := New()
+	handles := make([]*Handle, workers)
+	for i := range handles {
+		handles[i] = q.NewHandle()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(h *Handle) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Enqueue(h, 1)
+				q.Dequeue(h)
+			}
+		}(handles[w])
+	}
+	wg.Wait()
+	var combined, runs uint64
+	for _, h := range handles {
+		combined += h.C.Combined
+		runs += h.C.CombinerRuns
+	}
+	if combined != workers*per*2 {
+		t.Fatalf("Combined = %d, want %d (each op applied exactly once)",
+			combined, workers*per*2)
+	}
+	if runs == 0 || runs > combined {
+		t.Fatalf("CombinerRuns = %d vs Combined = %d", runs, combined)
+	}
+}
+
+func TestEmptyAfterDrainInterleaved(t *testing.T) {
+	q := New()
+	h := q.NewHandle()
+	for round := 0; round < 100; round++ {
+		for i := uint64(0); i < 7; i++ {
+			q.Enqueue(h, uint64(round*100)+i)
+		}
+		for i := uint64(0); i < 7; i++ {
+			if _, ok := q.Dequeue(h); !ok {
+				t.Fatalf("round %d: lost item %d", round, i)
+			}
+		}
+		if _, ok := q.Dequeue(h); ok {
+			t.Fatalf("round %d: phantom item", round)
+		}
+	}
+}

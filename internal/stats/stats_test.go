@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func sampleOf(xs ...float64) *Sample {
+	s := &Sample{}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Stddev() != 0 || s.Min() != 0 || s.Max() != 0 ||
+		s.Median() != 0 || s.CI95() != 0 || s.RelativeCI95() != 0 {
+		t.Fatal("empty sample should report zeros everywhere")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	s := sampleOf(42)
+	if s.Mean() != 42 || s.Min() != 42 || s.Max() != 42 || s.Median() != 42 {
+		t.Fatal("single-observation stats wrong")
+	}
+	if s.Stddev() != 0 || s.CI95() != 0 {
+		t.Fatal("dispersion of single observation must be 0")
+	}
+}
+
+func TestKnownValues(t *testing.T) {
+	s := sampleOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if !approx(s.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", s.Mean())
+	}
+	// Sample stddev of this classic dataset is sqrt(32/7).
+	if !approx(s.Stddev(), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("Stddev = %v", s.Stddev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if !approx(s.Median(), 4.5, 1e-12) {
+		t.Fatalf("Median = %v", s.Median())
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	if m := sampleOf(9, 1, 5).Median(); m != 5 {
+		t.Fatalf("Median = %v, want 5", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	s := sampleOf(3, 1, 2)
+	_ = s.Median()
+	if s.xs[0] != 3 || s.xs[1] != 1 || s.xs[2] != 2 {
+		t.Fatal("Median sorted the underlying sample")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	small := sampleOf(1, 3)
+	big := sampleOf(1, 3, 1, 3, 1, 3, 1, 3)
+	if big.CI95() >= small.CI95() {
+		t.Fatalf("CI95 did not shrink: n=2 gives %v, n=8 gives %v", small.CI95(), big.CI95())
+	}
+}
+
+func TestQuickInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		s := &Sample{}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true // avoid float64 overflow in sums of squares
+			}
+			s.Add(x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		// min <= median <= max, min <= mean <= max, stddev >= 0
+		return s.Min() <= s.Median()+1e-9 && s.Median() <= s.Max()+1e-9 &&
+			s.Min() <= s.Mean()+1e-9 && s.Mean() <= s.Max()+1e-9 &&
+			s.Stddev() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelativeCI95(t *testing.T) {
+	s := sampleOf(10, 10, 10, 10)
+	if s.RelativeCI95() != 0 {
+		t.Fatal("identical observations must give zero relative CI")
+	}
+	var zeroMean Sample
+	zeroMean.Add(-1)
+	zeroMean.Add(1)
+	if zeroMean.RelativeCI95() != 0 {
+		t.Fatal("zero mean must not divide by zero")
+	}
+}

@@ -1,0 +1,64 @@
+// Package xrand implements a tiny, allocation-free pseudo-random generator
+// for use on benchmark fast paths.
+//
+// The evaluation methodology of the LCRQ paper inserts a random delay of up
+// to 100 ns between queue operations to break "long runs" of consecutive
+// operations by one thread. A delay that short cannot tolerate the overhead
+// or the locking of a shared RNG, so every worker owns one State.
+package xrand
+
+import "math/bits"
+
+// State is an xorshift128+ generator. The zero value is invalid; obtain
+// states from New.
+type State struct {
+	s0, s1 uint64
+}
+
+// New returns a generator seeded from seed. Distinct seeds (e.g. worker ids)
+// yield uncorrelated streams for benchmarking purposes.
+func New(seed uint64) *State {
+	var s State
+	s.Seed(seed)
+	return &s
+}
+
+// Seed reinitializes the generator. The seed is diffused through two rounds
+// of SplitMix64 so that small consecutive seeds produce unrelated states.
+func (s *State) Seed(seed uint64) {
+	s.s0 = splitmix64(&seed)
+	s.s1 = splitmix64(&seed)
+	if s.s0 == 0 && s.s1 == 0 {
+		s.s1 = 1
+	}
+}
+
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *State) Uint64() uint64 {
+	x, y := s.s0, s.s1
+	s.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	s.s1 = x
+	return x + y
+}
+
+// Uintn returns a pseudo-random value in [0, n). It uses the multiply-shift
+// range reduction, which is branch-free and unbiased enough for workload
+// jitter. n must be positive.
+func (s *State) Uintn(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uintn with n == 0")
+	}
+	hi, _ := bits.Mul64(s.Uint64(), n)
+	return hi
+}

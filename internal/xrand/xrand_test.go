@@ -1,0 +1,107 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDistinctSeedsDistinctStreams(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("stream diverged at step %d", i)
+		}
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	s := New(0)
+	if s.s0 == 0 && s.s1 == 0 {
+		t.Fatal("zero internal state")
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		seen[s.Uint64()] = true
+	}
+	if len(seen) < 60 {
+		t.Fatalf("only %d distinct values in 64 draws", len(seen))
+	}
+}
+
+func TestUintnRange(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			if s.Uintn(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUintnCoversRange(t *testing.T) {
+	s := New(7)
+	var hit [10]bool
+	for i := 0; i < 10000; i++ {
+		hit[s.Uintn(10)] = true
+	}
+	for v, ok := range hit {
+		if !ok {
+			t.Fatalf("value %d never drawn in 10000 tries", v)
+		}
+	}
+}
+
+func TestUintnZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Uintn(0)
+}
+
+func TestRoughUniformity(t *testing.T) {
+	// Chi-squared-ish sanity check over 16 buckets.
+	s := New(123)
+	const draws = 1 << 16
+	var buckets [16]int
+	for i := 0; i < draws; i++ {
+		buckets[s.Uint64()>>60]++
+	}
+	want := draws / 16
+	for i, got := range buckets {
+		if got < want*8/10 || got > want*12/10 {
+			t.Fatalf("bucket %d has %d draws, expected about %d", i, got, want)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}

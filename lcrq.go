@@ -1,0 +1,136 @@
+// Package lcrq is a fast, linearizable, nonblocking multi-producer
+// multi-consumer FIFO queue for Go, reproducing
+//
+//	Adam Morrison and Yehuda Afek. Fast Concurrent Queues for x86
+//	Processors. PPoPP 2013.
+//
+// The queue spreads contending threads across the cells of ring segments
+// using fetch-and-add — which always succeeds — and synchronizes within a
+// cell using a double-width compare-and-swap (LOCK CMPXCHG16B on amd64),
+// avoiding the wasted work of CAS retry loops that melts down CAS-based
+// queues under contention.
+//
+// # Usage
+//
+// Operations go through per-thread handles, which carry hazard-pointer
+// records and instrumentation:
+//
+//	q := lcrq.New()
+//	h := q.NewHandle()        // one per goroutine, Release when done
+//	h.Enqueue(42)
+//	v, ok := h.Dequeue()
+//
+// Handle-free convenience methods (Queue.Enqueue / Queue.Dequeue) borrow a
+// handle from an internal pool; they cost one pool round-trip per call and
+// are intended for casual use, not benchmarks.
+//
+// The raw queue carries uint64 values and reserves one bit pattern
+// (lcrq.Reserved) to mark empty cells. Typed[T] wraps the queue with a
+// slot-arena so arbitrary Go values — including pointers, which stay
+// visible to the garbage collector — can be queued.
+package lcrq
+
+import (
+	"runtime"
+	"sync"
+
+	"lcrq/internal/core"
+)
+
+// Reserved is the single uint64 value that cannot be stored in a raw Queue.
+// Enqueueing it panics. Use Typed to lift the restriction.
+const Reserved = core.Bottom
+
+// Queue is an unbounded nonblocking MPMC FIFO queue of uint64 values.
+// All methods are safe for concurrent use.
+type Queue struct {
+	q    *core.LCRQ
+	pool sync.Pool // spare *Handle for the convenience methods
+}
+
+// New returns an empty queue. With no options the queue uses rings of
+// 2^12 cells, cache-line-padded cells, hardware fetch-and-add, and
+// hazard-pointer ring recycling.
+func New(opts ...Option) *Queue {
+	var cfg core.Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	q := &Queue{q: core.NewLCRQ(cfg)}
+	q.pool.New = func() any {
+		h := q.NewHandle()
+		// Pooled handles have no owner to Release them; if the pool drops
+		// one under GC pressure, the finalizer returns its reclamation
+		// record to the queue's domain instead of leaking it.
+		runtime.SetFinalizer(h, (*Handle).Release)
+		return h
+	}
+	return q
+}
+
+// Handle is a per-goroutine operation context. A Handle must not be used
+// concurrently; create one per worker and Release it when the worker exits.
+type Handle struct {
+	h *core.Handle
+	q *Queue
+}
+
+// NewHandle returns a handle bound to q.
+func (q *Queue) NewHandle() *Handle {
+	return &Handle{h: q.q.NewHandle(), q: q}
+}
+
+// SetCluster records the hardware cluster (processor package) the owning
+// thread runs on, which the hierarchical variant (WithHierarchical) uses to
+// batch operations by cluster. Harmless to leave at 0 otherwise.
+func (h *Handle) SetCluster(cluster int) { h.h.Cluster = int64(cluster) }
+
+// Enqueue appends v to the queue. v must not equal Reserved.
+func (h *Handle) Enqueue(v uint64) { h.q.q.Enqueue(h.h, v) }
+
+// Dequeue removes and returns the oldest value; ok is false if the queue
+// was observed empty.
+func (h *Handle) Dequeue() (v uint64, ok bool) { return h.q.q.Dequeue(h.h) }
+
+// Stats returns a snapshot of the operation statistics accumulated by this
+// handle. Meaningful only while the owning goroutine is not mid-operation.
+func (h *Handle) Stats() Stats { return statsFromCounters(&h.h.C) }
+
+// Release returns the handle's resources (its hazard-pointer record) to the
+// queue. The handle must not be used afterwards.
+func (h *Handle) Release() { h.h.Release() }
+
+// Enqueue appends v using a pooled handle. v must not equal Reserved.
+func (q *Queue) Enqueue(v uint64) {
+	h := q.pool.Get().(*Handle)
+	h.Enqueue(v)
+	q.pool.Put(h)
+}
+
+// Dequeue removes and returns the oldest value using a pooled handle.
+func (q *Queue) Dequeue() (v uint64, ok bool) {
+	h := q.pool.Get().(*Handle)
+	v, ok = h.Dequeue()
+	q.pool.Put(h)
+	return v, ok
+}
+
+// Drain repeatedly dequeues until the queue reports empty, invoking fn for
+// each value, and returns the number of values drained. Concurrent
+// enqueuers may keep it busy indefinitely; Drain is meant for shutdown
+// paths after producers have stopped.
+func (q *Queue) Drain(fn func(uint64)) int {
+	h := q.pool.Get().(*Handle)
+	defer q.pool.Put(h)
+	n := 0
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			return n
+		}
+		if fn != nil {
+			fn(v)
+		}
+		n++
+	}
+}

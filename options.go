@@ -1,0 +1,92 @@
+package lcrq
+
+import (
+	"math/bits"
+	"time"
+
+	"lcrq/internal/core"
+)
+
+// Option configures a Queue at construction time.
+type Option func(*core.Config)
+
+// WithRingSize sets the capacity R of each ring segment, rounded up to a
+// power of two and clamped to [2, 2^26]. The paper's evaluation uses 2^17;
+// its sensitivity study shows anything holding all running threads performs
+// well. The default is 2^12.
+func WithRingSize(r int) Option {
+	return func(c *core.Config) {
+		if r < 2 {
+			r = 2
+		}
+		order := bits.Len(uint(r - 1)) // ceil(log2 r)
+		c.RingOrder = order
+	}
+}
+
+// WithRingOrder sets log2 of the ring segment capacity directly.
+func WithRingOrder(order int) Option {
+	return func(c *core.Config) { c.RingOrder = order }
+}
+
+// WithCASLoopFAA emulates fetch-and-add with a CAS loop, reproducing the
+// paper's LCRQ-CAS comparison point. Strictly worse under contention; it
+// exists to measure exactly how much worse.
+func WithCASLoopFAA() Option {
+	return func(c *core.Config) { c.CASLoopFAA = true }
+}
+
+// WithHierarchical enables the LCRQ+H cluster-batching optimization: an
+// operation arriving from a cluster other than the ring's current owner
+// waits up to timeout (0 means the paper's 100 µs) before proceeding,
+// causing operations to complete in same-cluster batches on NUMA systems.
+// Pair with Handle.SetCluster.
+func WithHierarchical(timeout time.Duration) Option {
+	return func(c *core.Config) {
+		c.Hierarchical = true
+		c.ClusterTimeout = timeout
+	}
+}
+
+// WithoutPadding packs ring cells densely (16 bytes each) instead of
+// padding them to a false-sharing range. Saves 8× memory per ring at the
+// cost of false sharing between neighboring cells.
+func WithoutPadding() Option {
+	return func(c *core.Config) { c.NoPadding = true }
+}
+
+// WithoutRecycling disables hazard-pointer ring recycling; retired rings
+// are left to the garbage collector.
+func WithoutRecycling() Option {
+	return func(c *core.Config) { c.NoRecycle = true }
+}
+
+// WithoutHazardPointers removes hazard pointers from the operation path
+// entirely, relying on Go's garbage collector for reclamation safety (an
+// option the paper's C implementation does not have). Implies
+// WithoutRecycling. Use to shed the per-operation publication fence when
+// ring churn is rare, or to measure its cost.
+func WithoutHazardPointers() Option {
+	return func(c *core.Config) { c.NoHazard = true }
+}
+
+// WithEpochReclamation swaps the paper's hazard pointers for epoch-based
+// reclamation: cheaper per operation (one pin/unpin instead of a pointer
+// publication and revalidation) but a stalled thread delays all ring
+// recycling. See the BenchmarkAblationReclamation comparison.
+func WithEpochReclamation() Option {
+	return func(c *core.Config) { c.Reclamation = core.ReclaimEpoch }
+}
+
+// WithSpinWait bounds how long a dequeuer waits for an in-flight matching
+// enqueuer before poisoning the cell (§4.1.1 of the paper). iters < 0
+// disables the wait; 0 selects the default.
+func WithSpinWait(iters int) Option {
+	return func(c *core.Config) { c.SpinWait = iters }
+}
+
+// WithStarvationLimit sets how many failed attempts an enqueuer tolerates
+// before closing the ring segment and appending a fresh one.
+func WithStarvationLimit(attempts int) Option {
+	return func(c *core.Config) { c.StarvationLimit = attempts }
+}

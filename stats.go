@@ -1,0 +1,64 @@
+package lcrq
+
+import "lcrq/internal/instrument"
+
+// Stats is a snapshot of per-handle operation statistics, mirroring the
+// quantities reported in Tables 2 and 3 of the paper.
+type Stats struct {
+	Enqueues uint64 // completed enqueue operations
+	Dequeues uint64 // completed dequeue operations (including empty results)
+	Empty    uint64 // dequeues that found the queue empty
+
+	FetchAdds    uint64  // fetch-and-add instructions issued
+	CASAttempts  uint64  // single-width CAS attempts
+	CASFailures  uint64  // single-width CAS attempts that failed
+	CAS2Attempts uint64  // double-width CAS attempts
+	CAS2Failures uint64  // double-width CAS attempts that failed
+	AtomicsPerOp float64 // average atomic instructions per operation
+
+	RingCloses   uint64 // ring segments this handle closed
+	RingAppends  uint64 // ring segments this handle appended
+	RingRecycles uint64 // appended segments satisfied from the recycler
+}
+
+func statsFromCounters(c *instrument.Counters) Stats {
+	return Stats{
+		Enqueues:     c.Enqueues,
+		Dequeues:     c.Dequeues,
+		Empty:        c.Empty,
+		FetchAdds:    c.FAA,
+		CASAttempts:  c.CAS,
+		CASFailures:  c.CASFail,
+		CAS2Attempts: c.CAS2,
+		CAS2Failures: c.CAS2Fail,
+		AtomicsPerOp: c.AtomicsPerOp(),
+		RingCloses:   c.Closes,
+		RingAppends:  c.Appends,
+		RingRecycles: c.Recycled,
+	}
+}
+
+// Add returns the field-wise sum of s and o (AtomicsPerOp is recomputed as
+// a weighted average).
+func (s Stats) Add(o Stats) Stats {
+	ops := s.Enqueues + s.Dequeues + o.Enqueues + o.Dequeues
+	var apo float64
+	if ops > 0 {
+		apo = (s.AtomicsPerOp*float64(s.Enqueues+s.Dequeues) +
+			o.AtomicsPerOp*float64(o.Enqueues+o.Dequeues)) / float64(ops)
+	}
+	return Stats{
+		Enqueues:     s.Enqueues + o.Enqueues,
+		Dequeues:     s.Dequeues + o.Dequeues,
+		Empty:        s.Empty + o.Empty,
+		FetchAdds:    s.FetchAdds + o.FetchAdds,
+		CASAttempts:  s.CASAttempts + o.CASAttempts,
+		CASFailures:  s.CASFailures + o.CASFailures,
+		CAS2Attempts: s.CAS2Attempts + o.CAS2Attempts,
+		CAS2Failures: s.CAS2Failures + o.CAS2Failures,
+		AtomicsPerOp: apo,
+		RingCloses:   s.RingCloses + o.RingCloses,
+		RingAppends:  s.RingAppends + o.RingAppends,
+		RingRecycles: s.RingRecycles + o.RingRecycles,
+	}
+}

@@ -1,0 +1,133 @@
+package lcrq
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Typed is an unbounded nonblocking MPMC FIFO queue of arbitrary Go values,
+// built on the raw uint64 Queue. Values are parked in a growable slot arena
+// that the garbage collector scans normally (so queueing pointers is safe),
+// and the raw queue carries slot indices. A second raw queue serves as the
+// lock-free free list, so the steady-state data path allocates nothing.
+//
+// The memory ordering of slot writes is anchored by the queue's atomic
+// operations: a slot is written strictly before its index is published via
+// Enqueue and read strictly after the index is received from Dequeue.
+type Typed[T any] struct {
+	main *Queue // carries slot indices in FIFO order
+	free *Queue // recycled slot indices
+	mu   sync.Mutex
+	arr  atomic.Pointer[[]*chunk[T]]
+	pool sync.Pool // spare *TypedHandle[T]
+}
+
+const (
+	chunkBits = 10
+	chunkSize = 1 << chunkBits
+)
+
+type chunk[T any] struct {
+	slots [chunkSize]T
+}
+
+// NewTyped returns an empty typed queue. Options configure the underlying
+// index queue (the free list uses the same ring geometry).
+func NewTyped[T any](opts ...Option) *Typed[T] {
+	t := &Typed[T]{main: New(opts...), free: New(opts...)}
+	empty := []*chunk[T]{}
+	t.arr.Store(&empty)
+	t.pool.New = func() any {
+		h := t.NewHandle()
+		// See Queue's pool: dropped pooled handles must not leak their
+		// reclamation records.
+		runtime.SetFinalizer(h, (*TypedHandle[T]).Release)
+		return h
+	}
+	return t
+}
+
+// TypedHandle is the per-goroutine context for a Typed queue. It must not
+// be used concurrently.
+type TypedHandle[T any] struct {
+	t    *Typed[T]
+	main *Handle
+	free *Handle
+}
+
+// NewHandle returns a handle bound to t. Release it when the goroutine is
+// done with the queue.
+func (t *Typed[T]) NewHandle() *TypedHandle[T] {
+	return &TypedHandle[T]{t: t, main: t.main.NewHandle(), free: t.free.NewHandle()}
+}
+
+// Release returns the handle's resources.
+func (h *TypedHandle[T]) Release() {
+	h.main.Release()
+	h.free.Release()
+}
+
+func (t *Typed[T]) slot(idx uint64) *T {
+	chunks := *t.arr.Load()
+	return &chunks[idx>>chunkBits].slots[idx&(chunkSize-1)]
+}
+
+// grow appends one chunk to the arena, feeds all but one of its slot
+// indices to the free list, and returns the remaining index.
+func (t *Typed[T]) grow(h *TypedHandle[T]) uint64 {
+	t.mu.Lock()
+	old := *t.arr.Load()
+	next := make([]*chunk[T], len(old)+1)
+	copy(next, old)
+	next[len(old)] = &chunk[T]{}
+	t.arr.Store(&next)
+	base := uint64(len(old)) << chunkBits
+	t.mu.Unlock()
+	for i := uint64(1); i < chunkSize; i++ {
+		h.free.Enqueue(base + i)
+	}
+	return base
+}
+
+// Enqueue appends v to the queue.
+func (h *TypedHandle[T]) Enqueue(v T) {
+	idx, ok := h.free.Dequeue()
+	if !ok {
+		idx = h.t.grow(h)
+	}
+	*h.t.slot(idx) = v
+	h.main.Enqueue(idx)
+}
+
+// Dequeue removes and returns the oldest value; ok is false if the queue
+// was observed empty.
+func (h *TypedHandle[T]) Dequeue() (v T, ok bool) {
+	idx, ok := h.main.Dequeue()
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	p := h.t.slot(idx)
+	v = *p
+	var zero T
+	*p = zero // release references held by the slot
+	h.free.Enqueue(idx)
+	return v, true
+}
+
+// Enqueue appends v using a pooled handle; see Queue.Enqueue for the
+// performance caveat.
+func (t *Typed[T]) Enqueue(v T) {
+	h := t.pool.Get().(*TypedHandle[T])
+	h.Enqueue(v)
+	t.pool.Put(h)
+}
+
+// Dequeue removes and returns the oldest value using a pooled handle.
+func (t *Typed[T]) Dequeue() (v T, ok bool) {
+	h := t.pool.Get().(*TypedHandle[T])
+	v, ok = h.Dequeue()
+	t.pool.Put(h)
+	return v, ok
+}
