@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race purego fuzz bench examples reproduce check clean
+.PHONY: all build vet test race purego chaos fuzz bench examples reproduce check clean
 
 all: check
 
@@ -21,13 +21,19 @@ race:
 
 # Exercise the portable CAS2 emulation even on amd64.
 purego:
-	$(GO) test -tags purego ./internal/atomic128/ ./internal/core/ .
+	$(GO) test -tags purego ./...
 
-# Short fuzzing pass over the three fuzz targets.
+# Fault-injection suite: arms every internal/chaos injection point under
+# the race detector and re-runs the linearizability checker under faults.
+chaos:
+	$(GO) test -race -tags=chaos ./...
+
+# Short fuzzing pass over the fuzz targets.
 fuzz:
 	$(GO) test -fuzz FuzzQueueModel -fuzztime 30s .
 	$(GO) test -fuzz FuzzTypedModel -fuzztime 30s .
 	$(GO) test -fuzz FuzzPacked32Model -fuzztime 30s .
+	$(GO) test -fuzz FuzzCloseDrain -fuzztime 30s .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -54,7 +60,7 @@ modelcheck:
 	$(GO) run ./cmd/modelcheck -mutate empty -ops 2 || true
 	$(GO) run ./cmd/modelcheck -mutate idx -ops 2 || true
 
-check: build vet test race purego
+check: build vet test race purego chaos
 
 clean:
 	$(GO) clean ./...

@@ -4,6 +4,11 @@ package lcrq
 // test suite; `go test -fuzz=FuzzQueueModel .` explores further.
 
 import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -58,6 +63,103 @@ func FuzzQueueModel(f *testing.F) {
 		}
 		if v, ok := h.Dequeue(); ok {
 			t.Fatalf("extra value %d after drain", v)
+		}
+	})
+}
+
+// FuzzCloseDrain interleaves Close with concurrent producers and a
+// concurrent DequeueWait consumer, then checks conservation: every accepted
+// enqueue is consumed exactly once, in per-producer FIFO order, and no
+// enqueue is accepted after the close has drained. The fuzzer varies the
+// producer count, ring geometry, and how much traffic precedes the close.
+func FuzzCloseDrain(f *testing.F) {
+	f.Add(uint8(2), uint8(0), uint16(40))
+	f.Add(uint8(4), uint8(3), uint16(0))
+	f.Add(uint8(1), uint8(9), uint16(300))
+	f.Fuzz(func(t *testing.T, prod, geom uint8, closeAfter uint16) {
+		const perProd = 256
+		nprod := int(prod%4) + 1
+		target := uint64(closeAfter) % (uint64(nprod)*perProd + 1)
+		opts := []Option{WithRingSize(2 << (geom % 4))}
+		if geom&16 != 0 {
+			opts = append(opts, WithEpochReclamation())
+		}
+		if geom&32 != 0 {
+			opts = append(opts, WithStarvationLimit(2))
+		}
+		q := New(opts...)
+
+		accepted := make([]uint64, nprod)
+		var total atomic.Uint64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < nprod; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				h := q.NewHandle()
+				defer h.Release()
+				<-start
+				for i := 0; i < perProd; i++ {
+					if !h.Enqueue(uint64(p)<<32 | uint64(i) + 1) {
+						return // closed
+					}
+					accepted[p]++
+					total.Add(1)
+				}
+			}(p)
+		}
+
+		// Concurrent consumer: DequeueWait until ErrClosed. Its log is the
+		// FIFO prefix; the post-join drain is the suffix.
+		consumed := make([][]uint64, nprod)
+		consumerDone := make(chan error, 1)
+		ch := q.NewHandle()
+		go func() {
+			for {
+				v, err := ch.DequeueWait(context.Background())
+				if err != nil {
+					consumerDone <- err
+					return
+				}
+				p := int(v >> 32)
+				consumed[p] = append(consumed[p], v&0xffffffff)
+			}
+		}()
+
+		close(start)
+		// Close once enough traffic has been accepted (or immediately when
+		// target is 0). Producers are bounded, so waiting on min(target,
+		// all-accepted) terminates either way.
+		for total.Load() < target && total.Load() < uint64(nprod)*perProd {
+			runtime.Gosched()
+		}
+		q.Close()
+		if err := <-consumerDone; !errors.Is(err, ErrClosed) {
+			t.Fatalf("consumer finished with %v, want ErrClosed", err)
+		}
+		ch.Release()
+		wg.Wait()
+
+		// Post-join drain catches items from enqueues that were concurrent
+		// with Close and landed after the consumer saw closed+empty.
+		q.Drain(func(v uint64) {
+			p := int(v >> 32)
+			consumed[p] = append(consumed[p], v&0xffffffff)
+		})
+		if q.Enqueue(1) {
+			t.Fatal("enqueue accepted after close and drain")
+		}
+		for p := 0; p < nprod; p++ {
+			if uint64(len(consumed[p])) != accepted[p] {
+				t.Fatalf("producer %d: accepted %d, consumed %d", p, accepted[p], len(consumed[p]))
+			}
+			for i, v := range consumed[p] {
+				if v != uint64(i)+1 {
+					t.Fatalf("producer %d: consumed[%d] = %d, want %d (loss, duplication, or reorder)",
+						p, i, v, i+1)
+				}
+			}
 		}
 	})
 }

@@ -1,0 +1,42 @@
+package atomic128
+
+import (
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// The emulation serializes CAS2s that hash to the same stripe. Loads remain
+// plain 64-bit atomics: a load racing with an emulated CAS2 can observe the
+// two halves from different states, which is exactly the tearing the CRQ
+// protocol already tolerates (the validating CAS2 will fail and retry).
+const stripes = 256 // power of two
+
+var locks [stripes]sync.Mutex
+
+// casEmulated is the portable striped-spinlock CAS2. It is compiled on
+// every platform — it is the cas128 implementation on non-amd64, purego,
+// and race builds, and on native builds it backs CompareAndSwapEmulated so
+// the fallback path can be stress-tested on the same hardware as the
+// CMPXCHG16B path.
+func casEmulated(addr *Uint128, oldLo, oldHi, newLo, newHi uint64) bool {
+	mu := &locks[(uintptr(unsafe.Pointer(addr))>>4)%stripes]
+	mu.Lock()
+	if atomic.LoadUint64(&addr.lo) != oldLo || atomic.LoadUint64(&addr.hi) != oldHi {
+		mu.Unlock()
+		return false
+	}
+	atomic.StoreUint64(&addr.lo, newLo)
+	atomic.StoreUint64(&addr.hi, newHi)
+	mu.Unlock()
+	return true
+}
+
+// CompareAndSwapEmulated performs the CAS through the portable emulation
+// regardless of the build, so the non-CMPXCHG16B code path can be exercised
+// on amd64. A given cell must be operated on exclusively through either the
+// native or the emulated path: the emulation's stripe lock cannot exclude a
+// concurrent native CMPXCHG16B on the same cell.
+func (u *Uint128) CompareAndSwapEmulated(oldLo, oldHi, newLo, newHi uint64) bool {
+	return casEmulated(u, oldLo, oldHi, newLo, newHi)
+}

@@ -1,0 +1,84 @@
+package atomic128
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestEmulatedSemantics checks the emulated CAS2's success/failure contract
+// on every build, including native amd64 ones where cas128 would otherwise
+// be the only covered implementation.
+func TestEmulatedSemantics(t *testing.T) {
+	cells := AlignedUint128s(1)
+	c := &cells[0]
+	if !c.CompareAndSwapEmulated(0, 0, 1, 2) {
+		t.Fatal("CAS from zero state failed")
+	}
+	if c.LoadLo() != 1 || c.LoadHi() != 2 {
+		t.Fatalf("cell = (%d,%d), want (1,2)", c.LoadLo(), c.LoadHi())
+	}
+	if c.CompareAndSwapEmulated(1, 999, 3, 4) {
+		t.Fatal("CAS with wrong hi succeeded")
+	}
+	if c.CompareAndSwapEmulated(999, 2, 3, 4) {
+		t.Fatal("CAS with wrong lo succeeded")
+	}
+	if !c.CompareAndSwapEmulated(1, 2, 3, 4) {
+		t.Fatal("CAS with matching state failed")
+	}
+	if c.LoadLo() != 3 || c.LoadHi() != 4 {
+		t.Fatalf("cell = (%d,%d), want (3,4)", c.LoadLo(), c.LoadHi())
+	}
+}
+
+// TestEmulatedStress hammers the emulated CAS2 from many goroutines: each
+// success must move a cell's (lo, hi) pair atomically, so at the end every
+// cell's halves agree and the total increments equal the total successes.
+// This gives the portable non-CMPXCHG16B path the same kind of contention
+// coverage the native path gets from the queue stress tests.
+func TestEmulatedStress(t *testing.T) {
+	const (
+		ncells = 4
+		iters  = 2000
+	)
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	cells := AlignedUint128s(ncells)
+	successes := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w)*2654435761 + 1
+			for i := 0; i < iters; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				c := &cells[rng%ncells]
+				lo, hi := c.LoadLo(), c.LoadHi()
+				// Paired increment: only atomic if the CAS2 really
+				// compared and swapped both halves as one unit.
+				if c.CompareAndSwapEmulated(lo, hi, lo+1, hi+1) {
+					successes[w]++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total, want uint64
+	for _, s := range successes {
+		want += s
+	}
+	for i := range cells {
+		lo, hi := cells[i].LoadLo(), cells[i].LoadHi()
+		if lo != hi {
+			t.Errorf("cell %d halves diverged: lo=%d hi=%d", i, lo, hi)
+		}
+		total += lo
+	}
+	if total != want {
+		t.Errorf("cells sum to %d increments, want %d successes", total, want)
+	}
+}

@@ -2,12 +2,6 @@
 
 package atomic128
 
-import (
-	"sync"
-	"sync/atomic"
-	"unsafe"
-)
-
 // native reports that this build emulates CAS2 with striped spinlocks.
 // Race-instrumented builds (-race) also take this path, because writes made
 // by the assembly CMPXCHG16B are invisible to the race detector; the
@@ -15,23 +9,6 @@ import (
 // hardware instruction really provides.
 const native = false
 
-// The emulation serializes CAS2s that hash to the same stripe. Loads remain
-// plain 64-bit atomics: a load racing with an emulated CAS2 can observe the
-// two halves from different states, which is exactly the tearing the CRQ
-// protocol already tolerates (the validating CAS2 will fail and retry).
-const stripes = 256 // power of two
-
-var locks [stripes]sync.Mutex
-
 func cas128(addr *Uint128, oldLo, oldHi, newLo, newHi uint64) bool {
-	mu := &locks[(uintptr(unsafe.Pointer(addr))>>4)%stripes]
-	mu.Lock()
-	if atomic.LoadUint64(&addr.lo) != oldLo || atomic.LoadUint64(&addr.hi) != oldHi {
-		mu.Unlock()
-		return false
-	}
-	atomic.StoreUint64(&addr.lo, newLo)
-	atomic.StoreUint64(&addr.hi, newHi)
-	mu.Unlock()
-	return true
+	return casEmulated(addr, oldLo, oldHi, newLo, newHi)
 }

@@ -1,0 +1,28 @@
+//go:build !chaos
+
+package chaos
+
+// Enabled reports whether this build carries the live fault-injection
+// implementation. Without the `chaos` build tag every entry point below is
+// an inlinable no-op: `if chaos.Fire(p)` folds to dead code and Delay
+// vanishes, so the injection points cost nothing in production builds.
+const Enabled = false
+
+// Set is a no-op without the chaos build tag.
+func Set(Point, float64) {}
+
+// EnableAll is a no-op without the chaos build tag.
+func EnableAll(float64) {}
+
+// Reset is a no-op without the chaos build tag.
+func Reset() {}
+
+// Fired always reports zero without the chaos build tag.
+func Fired(Point) uint64 { return 0 }
+
+// Fire always reports false without the chaos build tag, letting the
+// compiler eliminate the guarded fault branch entirely.
+func Fire(Point) bool { return false }
+
+// Delay is a no-op without the chaos build tag.
+func Delay(Point) {}

@@ -1,0 +1,75 @@
+//go:build chaos
+
+package chaos
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync/atomic"
+)
+
+// Enabled reports whether this build carries the live fault-injection
+// implementation (the `chaos` build tag).
+const Enabled = true
+
+// Per-point firing probability, scaled to [0, 2^32]; 0 disables the point.
+// The scaled representation keeps Fire to one atomic load and one integer
+// compare against a cheap random word.
+var probs [NumPoints]atomic.Uint64
+
+// fired counts how many times each point triggered since the last Reset.
+var fired [NumPoints]atomic.Uint64
+
+const probScale = uint64(1) << 32
+
+// Set arms injection point p to fire with the given probability, clamped to
+// [0, 1]. Probability 0 disarms the point.
+func Set(p Point, prob float64) {
+	if prob < 0 {
+		prob = 0
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	probs[p].Store(uint64(prob * float64(probScale)))
+}
+
+// EnableAll arms every injection point with the same probability — the
+// combined-fault scenario.
+func EnableAll(prob float64) {
+	for p := Point(0); p < NumPoints; p++ {
+		Set(p, prob)
+	}
+}
+
+// Reset disarms every point and zeroes the fired counters.
+func Reset() {
+	for p := Point(0); p < NumPoints; p++ {
+		probs[p].Store(0)
+		fired[p].Store(0)
+	}
+}
+
+// Fired returns how many times p has triggered since the last Reset.
+func Fired(p Point) uint64 { return fired[p].Load() }
+
+// Fire reports whether injection point p triggers on this visit.
+func Fire(p Point) bool {
+	pr := probs[p].Load()
+	if pr == 0 {
+		return false
+	}
+	if uint64(rand.Uint32()) >= pr {
+		return false
+	}
+	fired[p].Add(1)
+	return true
+}
+
+// Delay yields the scheduler if point p triggers, perturbing the schedule
+// exactly at the instrumented window.
+func Delay(p Point) {
+	if Fire(p) {
+		runtime.Gosched()
+	}
+}

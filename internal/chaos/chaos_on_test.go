@@ -1,0 +1,61 @@
+//go:build chaos
+
+package chaos
+
+import "testing"
+
+// TestProbability checks that Fire's firing rate tracks the armed
+// probability within loose statistical bounds.
+func TestProbability(t *testing.T) {
+	defer Reset()
+	const trials = 20000
+	for _, prob := range []float64{0, 0.25, 0.75, 1} {
+		Reset()
+		Set(DeqCAS2Fail, prob)
+		hits := 0
+		for i := 0; i < trials; i++ {
+			if Fire(DeqCAS2Fail) {
+				hits++
+			}
+		}
+		got := float64(hits) / trials
+		if got < prob-0.05 || got > prob+0.05 {
+			t.Errorf("prob %.2f fired at rate %.3f", prob, got)
+		}
+		if uint64(hits) != Fired(DeqCAS2Fail) {
+			t.Errorf("Fired = %d, observed %d", Fired(DeqCAS2Fail), hits)
+		}
+		// Unarmed points must stay silent.
+		if Fire(RingClose) || Fired(RingClose) != 0 {
+			t.Errorf("unarmed point fired")
+		}
+	}
+}
+
+// TestSetClampsAndResets checks probability clamping and Reset/EnableAll.
+func TestSetClampsAndResets(t *testing.T) {
+	defer Reset()
+	Set(Tantrum, 7)    // clamps to 1
+	Set(Handoff, -0.5) // clamps to 0
+	if !Fire(Tantrum) {
+		t.Errorf("probability clamped to 1 did not fire")
+	}
+	if Fire(Handoff) {
+		t.Errorf("probability clamped to 0 fired")
+	}
+	EnableAll(1)
+	for _, p := range Points() {
+		if !Fire(p) {
+			t.Errorf("EnableAll(1): point %v did not fire", p)
+		}
+	}
+	Reset()
+	for _, p := range Points() {
+		if Fire(p) {
+			t.Errorf("after Reset: point %v fired", p)
+		}
+		if Fired(p) != 0 {
+			t.Errorf("after Reset: point %v has fired count %d", p, Fired(p))
+		}
+	}
+}

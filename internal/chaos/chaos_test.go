@@ -1,0 +1,62 @@
+package chaos
+
+import "testing"
+
+// TestPointNames pins the stable injection-point names documented in
+// DESIGN.md; chaos scenarios and docs refer to points by these strings.
+func TestPointNames(t *testing.T) {
+	want := map[Point]string{
+		EnqCAS2Fail:  "enq-cas2-fail",
+		DeqCAS2Fail:  "deq-cas2-fail",
+		RingClose:    "ring-close",
+		Tantrum:      "tantrum",
+		DelayEnq:     "delay-enq",
+		DelayDeq:     "delay-deq",
+		Handoff:      "handoff",
+		HazardWindow: "hazard-window",
+		EpochWindow:  "epoch-window",
+	}
+	if len(want) != int(NumPoints) {
+		t.Fatalf("test covers %d points, NumPoints = %d", len(want), NumPoints)
+	}
+	seen := map[string]bool{}
+	for p, name := range want {
+		if got := p.String(); got != name {
+			t.Errorf("Point(%d).String() = %q, want %q", p, got, name)
+		}
+		if seen[name] {
+			t.Errorf("duplicate point name %q", name)
+		}
+		seen[name] = true
+	}
+	if got := Point(200).String(); got != "unknown" {
+		t.Errorf("out-of-range String() = %q, want unknown", got)
+	}
+	if got := len(Points()); got != int(NumPoints) {
+		t.Errorf("Points() has %d entries, want %d", got, NumPoints)
+	}
+}
+
+// TestFireRespectsBuildTag verifies the central gating property: with the
+// chaos tag an armed point fires, without it Fire stays constant-false even
+// when armed (the production no-op contract).
+func TestFireRespectsBuildTag(t *testing.T) {
+	defer Reset()
+	Set(EnqCAS2Fail, 1)
+	firedOnce := false
+	for i := 0; i < 256; i++ {
+		if Fire(EnqCAS2Fail) {
+			firedOnce = true
+		}
+		Delay(EnqCAS2Fail) // must never panic in either build
+	}
+	if firedOnce != Enabled {
+		t.Fatalf("armed point fired=%v with Enabled=%v", firedOnce, Enabled)
+	}
+	if !Enabled && Fired(EnqCAS2Fail) != 0 {
+		t.Fatalf("Fired nonzero in a no-op build")
+	}
+	if Enabled && Fired(EnqCAS2Fail) == 0 {
+		t.Fatalf("Fired counter did not advance in a chaos build")
+	}
+}

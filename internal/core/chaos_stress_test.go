@@ -1,0 +1,202 @@
+//go:build chaos
+
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lcrq/internal/chaos"
+	"lcrq/internal/linearize"
+	"lcrq/internal/xrand"
+)
+
+// chaosCampaign records genuinely concurrent histories on an LCRQ built
+// from cfg and verifies each with the exhaustive linearizability checker.
+// Histories are kept tiny (the checker is exponential); the value comes
+// from the number of distinct fault-perturbed interleavings.
+func chaosCampaign(t *testing.T, cfg Config, rounds, threads, opsEach int, seed uint64) {
+	t.Helper()
+	for round := 0; round < rounds; round++ {
+		q := NewLCRQ(cfg)
+		rec := linearize.NewRecorder(threads)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for th := 0; th < threads; th++ {
+			wg.Add(1)
+			go func(th int) {
+				defer wg.Done()
+				h := q.NewHandle()
+				defer h.Release()
+				rng := xrand.New(seed + uint64(round)*1000 + uint64(th))
+				<-start
+				for i := 0; i < opsEach; i++ {
+					if rng.Uint64()%2 == 0 {
+						v := uint64(th)<<32 | uint64(i) + 1
+						inv := rec.Now()
+						if q.Enqueue(h, v) {
+							rec.Append(th, linearize.Op{
+								Kind: linearize.Enq, Value: v,
+								Invoke: inv, Return: rec.Now(),
+							})
+						}
+					} else {
+						inv := rec.Now()
+						v, ok := q.Dequeue(h)
+						rec.Append(th, linearize.Op{
+							Kind: linearize.Deq, Value: v, OK: ok,
+							Invoke: inv, Return: rec.Now(),
+						})
+					}
+				}
+			}(th)
+		}
+		close(start)
+		wg.Wait()
+		hist := rec.History()
+		if !linearize.Check(hist) {
+			t.Fatalf("round %d: non-linearizable history under chaos:\n%v", round, hist)
+		}
+	}
+}
+
+// pointScenario describes how to make one injection point reachable: the
+// queue configuration whose code path contains the point, and the firing
+// probability (kept below 1 so forced-failure retry loops terminate).
+type pointScenario struct {
+	point chaos.Point
+	prob  float64
+	cfg   Config
+}
+
+func scenarios() []pointScenario {
+	// Tiny rings and a low starvation limit force constant segment churn,
+	// which is what drags every slow path into play.
+	tiny := Config{RingOrder: 1, StarvationLimit: 4}
+	epoch := Config{RingOrder: 1, StarvationLimit: 4, Reclamation: ReclaimEpoch}
+	return []pointScenario{
+		{chaos.EnqCAS2Fail, 0.3, tiny},
+		{chaos.DeqCAS2Fail, 0.3, tiny},
+		{chaos.RingClose, 0.2, tiny},
+		{chaos.Tantrum, 0.2, tiny},
+		{chaos.DelayEnq, 0.5, tiny},
+		{chaos.DelayDeq, 0.5, tiny},
+		{chaos.Handoff, 0.7, tiny},
+		{chaos.HazardWindow, 0.5, tiny}, // default reclamation is hazard
+		{chaos.EpochWindow, 0.5, epoch},
+	}
+}
+
+// TestLinearizableUnderEachInjectionPoint proves the linearizability of the
+// queue survives every individual injected fault, and that each scenario
+// actually fired the fault it claims to test.
+func TestLinearizableUnderEachInjectionPoint(t *testing.T) {
+	for _, sc := range scenarios() {
+		t.Run(sc.point.String(), func(t *testing.T) {
+			chaos.Reset()
+			defer chaos.Reset()
+			chaos.Set(sc.point, sc.prob)
+			chaosCampaign(t, sc.cfg, 40, 3, 6, 1)
+			if chaos.Fired(sc.point) == 0 {
+				t.Fatalf("injection point %v never fired; scenario is vacuous", sc.point)
+			}
+		})
+	}
+}
+
+// TestLinearizableUnderCombinedFaults arms every point at once — CAS2
+// failures, forced closes, tantrums, and scheduling delays interacting —
+// and requires linearizability to survive the combination.
+func TestLinearizableUnderCombinedFaults(t *testing.T) {
+	for _, mode := range []Reclamation{ReclaimHazard, ReclaimEpoch} {
+		t.Run(mode.String(), func(t *testing.T) {
+			chaos.Reset()
+			defer chaos.Reset()
+			chaos.EnableAll(0.15)
+			cfg := Config{RingOrder: 1, StarvationLimit: 4, Reclamation: mode}
+			chaosCampaign(t, cfg, 40, 3, 6, 77)
+			var hits int
+			for _, p := range chaos.Points() {
+				if chaos.Fired(p) > 0 {
+					hits++
+				}
+			}
+			if hits < 5 {
+				t.Fatalf("only %d injection points fired in the combined scenario", hits)
+			}
+		})
+	}
+}
+
+// TestCloseDrainUnderChaos runs the close/drain protocol with every fault
+// armed: producers racing Close across chaos-churned segments must neither
+// lose nor duplicate an accepted item.
+func TestCloseDrainUnderChaos(t *testing.T) {
+	chaos.Reset()
+	defer chaos.Reset()
+	chaos.EnableAll(0.1)
+	const producers = 3
+	for round := 0; round < 20; round++ {
+		q := NewLCRQ(Config{RingOrder: 1, StarvationLimit: 4})
+		accepted := make([]uint64, producers)
+		var total atomic.Uint64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				h := q.NewHandle()
+				defer h.Release()
+				<-start
+				for i := 0; i < 64; i++ {
+					if !q.Enqueue(h, uint64(p)<<32|uint64(i)+1) {
+						return
+					}
+					accepted[p]++
+					total.Add(1)
+				}
+			}(p)
+		}
+		closer := q.NewHandle()
+		close(start)
+		// Let chaos-perturbed traffic build up before pulling the plug;
+		// producers only stop on close, so this always terminates.
+		for total.Load() < 24 {
+			runtime.Gosched()
+		}
+		q.Close(closer)
+		wg.Wait()
+		closer.Release()
+		consumed := make(map[int][]uint64)
+		h := q.NewHandle()
+		for {
+			v, ok := q.Dequeue(h)
+			if !ok {
+				break
+			}
+			consumed[int(v>>32)] = append(consumed[int(v>>32)], v&0xffffffff)
+		}
+		if q.Enqueue(h, 1) {
+			t.Fatal("enqueue accepted after close and drain")
+		}
+		h.Release()
+		for p := 0; p < producers; p++ {
+			if uint64(len(consumed[p])) != accepted[p] {
+				t.Fatalf("round %d producer %d: accepted %d, consumed %d",
+					round, p, accepted[p], len(consumed[p]))
+			}
+			for i, v := range consumed[p] {
+				if v != uint64(i)+1 {
+					t.Fatalf("round %d producer %d: consumed[%d] = %d, want %d",
+						round, p, i, v, i+1)
+				}
+			}
+		}
+	}
+	if chaos.Fired(chaos.RingClose)+chaos.Fired(chaos.Tantrum) == 0 {
+		t.Fatal("close/drain chaos test never forced a ring close or tantrum")
+	}
+}

@@ -13,6 +13,10 @@ const (
 	DefaultStarvationLimit = 64
 	DefaultSpinWait        = 64
 	DefaultClusterTimeout  = 100 * time.Microsecond
+	// DequeueWait backoff bounds: the first sleep after the spin phase and
+	// the cap the exponential doubling saturates at.
+	DefaultWaitBackoffMin = 4 * time.Microsecond
+	DefaultWaitBackoffMax = time.Millisecond
 	// MaxRingOrder keeps index arithmetic (idx+R) comfortably inside the
 	// 63-bit index field. The paper's largest evaluated ring is 2^17.
 	MaxRingOrder = 26
@@ -106,6 +110,13 @@ type Config struct {
 	// Reclamation constants. The zero value is the paper-faithful
 	// ReclaimHazard. Setting NoHazard forces ReclaimGC.
 	Reclamation Reclamation
+
+	// WaitBackoffMin and WaitBackoffMax bound the exponential backoff the
+	// public DequeueWait uses between empty polls: after a brief spin the
+	// waiter sleeps WaitBackoffMin, doubling up to WaitBackoffMax. Zero
+	// values select the defaults above.
+	WaitBackoffMin time.Duration
+	WaitBackoffMax time.Duration
 }
 
 // normalized returns c with defaults applied and bounds enforced.
@@ -133,6 +144,15 @@ func (c Config) normalized() Config {
 	}
 	if c.ClusterTimeout == 0 {
 		c.ClusterTimeout = DefaultClusterTimeout
+	}
+	if c.WaitBackoffMin <= 0 {
+		c.WaitBackoffMin = DefaultWaitBackoffMin
+	}
+	if c.WaitBackoffMax <= 0 {
+		c.WaitBackoffMax = DefaultWaitBackoffMax
+	}
+	if c.WaitBackoffMax < c.WaitBackoffMin {
+		c.WaitBackoffMax = c.WaitBackoffMin
 	}
 	if c.NoHazard {
 		c.Reclamation = ReclaimGC

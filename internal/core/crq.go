@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"lcrq/internal/atomic128"
+	"lcrq/internal/chaos"
 	"lcrq/internal/pad"
 )
 
@@ -102,6 +103,23 @@ func (q *CRQ) closeRing(h *Handle) {
 	q.tail.Or(closedBit)
 }
 
+// cas2 performs a cell CAS2 on behalf of h, counting the attempt and any
+// failure, unless the chaos layer forces the attempt to fail at injection
+// point p (in which case no hardware CAS is issued — indistinguishable, to
+// the caller, from losing the cell race to another thread).
+func cas2(h *Handle, cell *atomic128.Uint128, p chaos.Point, oldLo, oldHi, newLo, newHi uint64) bool {
+	if chaos.Fire(p) {
+		h.C.CAS2Fail++
+		return false
+	}
+	h.C.CAS2++
+	if cell.CompareAndSwap(oldLo, oldHi, newLo, newHi) {
+		return true
+	}
+	h.C.CAS2Fail++
+	return false
+}
+
 // faaHead performs F&A(&head, 1), or its CAS-loop emulation in the
 // LCRQ-CAS variant.
 func (q *CRQ) faaHead(h *Handle) uint64 {
@@ -151,6 +169,11 @@ func (q *CRQ) Enqueue(h *Handle, v uint64) bool {
 	}
 	tries := 0
 	for {
+		// Forced close: behave as if this attempt had observed a full ring.
+		if chaos.Fire(chaos.RingClose) {
+			q.closeRing(h)
+			return false
+		}
 		tc := q.faaTail(h)
 		if tc&closedBit != 0 {
 			return false
@@ -165,18 +188,20 @@ func (q *CRQ) Enqueue(h *Handle, v uint64) bool {
 
 		if hi == 0 { // value is ⊥
 			if idx <= t && (safe || q.head.Load() <= t) {
-				h.C.CAS2++
+				chaos.Delay(chaos.DelayEnq)
 				// (s, idx, ⊥) → (1, t, v): new lo = t with unsafe flag
 				// cleared, new hi = ^v.
-				if cell.CompareAndSwap(lo, 0, t, ^v) {
+				if cas2(h, cell, chaos.EnqCAS2Fail, lo, 0, t, ^v) {
 					return true
 				}
-				h.C.CAS2Fail++
 			}
 		}
 
 		hd := q.head.Load()
 		tries++
+		if chaos.Fire(chaos.Tantrum) {
+			tries = q.cfg.StarvationLimit // forced starvation: throw the tantrum now
+		}
 		if int64(t-hd) >= int64(q.size) || tries >= q.cfg.StarvationLimit {
 			q.closeRing(h)
 			return false
@@ -195,6 +220,7 @@ func (q *CRQ) Enqueue(h *Handle, v uint64) bool {
 func (q *CRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 	for {
 		hIdx := q.faaHead(h)
+		chaos.Delay(chaos.DelayDeq)
 		cell := q.cell(hIdx)
 		spins := q.cfg.SpinWait
 
@@ -211,20 +237,16 @@ func (q *CRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 			if hi != 0 { // cell holds a value
 				if idx == hIdx {
 					// Dequeue transition (s, h, v) → (s, h+R, ⊥).
-					h.C.CAS2++
-					if cell.CompareAndSwap(lo, hi, unsafeBit|(hIdx+q.size), 0) {
+					if cas2(h, cell, chaos.DeqCAS2Fail, lo, hi, unsafeBit|(hIdx+q.size), 0) {
 						return ^hi, true
 					}
-					h.C.CAS2Fail++
 				} else {
 					// We arrived a lap early: unsafe transition
 					// (s, k, v) → (0, k, v).
-					h.C.CAS2++
-					if cell.CompareAndSwap(lo, hi, unsafeFlag|idx, hi) {
+					if cas2(h, cell, chaos.DeqCAS2Fail, lo, hi, unsafeFlag|idx, hi) {
 						h.C.UnsafeTrans++
 						break cellLoop
 					}
-					h.C.CAS2Fail++
 				}
 			} else {
 				// Empty cell. If the matching enqueuer is active (its F&A
@@ -235,12 +257,10 @@ func (q *CRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 					continue cellLoop
 				}
 				// Empty transition (s, k, ⊥) → (s, h+R, ⊥).
-				h.C.CAS2++
-				if cell.CompareAndSwap(lo, 0, unsafeBit|(hIdx+q.size), 0) {
+				if cas2(h, cell, chaos.DeqCAS2Fail, lo, 0, unsafeBit|(hIdx+q.size), 0) {
 					h.C.EmptyTrans++
 					break cellLoop
 				}
-				h.C.CAS2Fail++
 			}
 		}
 

@@ -28,14 +28,21 @@ type Handle struct {
 	// standalone users can leave it 0.
 	Cluster int64
 
-	hp    *hazard.Record[CRQ] // non-nil in ReclaimHazard mode
-	ep    *epoch.Record[CRQ]  // non-nil in ReclaimEpoch mode
-	owner *LCRQ
+	hp       *hazard.Record[CRQ] // non-nil in ReclaimHazard mode
+	ep       *epoch.Record[CRQ]  // non-nil in ReclaimEpoch mode
+	owner    *LCRQ
+	released bool
 }
 
 // Release returns the handle's reclamation record to its queue's domain.
-// The handle must not be used afterwards.
+// The handle must not be used afterwards. Releasing a handle twice panics:
+// the second release would hand the same reclamation record to two future
+// handles, silently corrupting the hazard/epoch domain's record pool.
 func (h *Handle) Release() {
+	if h.released {
+		panic("core: Handle released twice; a released handle must not be reused")
+	}
+	h.released = true
 	if h.hp != nil {
 		h.hp.Release()
 		h.hp = nil

@@ -3,6 +3,7 @@ package core
 import (
 	"sync/atomic"
 
+	"lcrq/internal/chaos"
 	"lcrq/internal/pad"
 )
 
@@ -53,6 +54,7 @@ func (q *IAQ) Enqueue(h *Handle, v uint64) bool {
 		if t >= uint64(len(q.cells)) {
 			return false
 		}
+		chaos.Delay(chaos.DelayEnq) // widen the F&A → SWAP window
 		h.C.SWAP++
 		if q.cells[t].Swap(^v) == 0 { // swapped into ⊥
 			h.C.Enqueues++
@@ -72,6 +74,7 @@ func (q *IAQ) Dequeue(h *Handle) (v uint64, ok bool) {
 			h.C.Empty++
 			return Bottom, false
 		}
+		chaos.Delay(chaos.DelayDeq) // widen the F&A → SWAP window
 		h.C.SWAP++
 		x := q.cells[hd].Swap(^top)
 		if x != 0 && x != ^top { // found a value

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lcrq/internal/chaos"
 	"lcrq/internal/epoch"
 	"lcrq/internal/hazard"
 	"lcrq/internal/pad"
@@ -28,6 +29,11 @@ type LCRQ struct {
 	dom  *hazard.Domain[CRQ]
 	edom *epoch.Domain[CRQ]
 	pool sync.Pool // recycled *CRQ rings (nil Reclaim when NoRecycle)
+
+	// closed is set by Close. It lives off the hot cache lines: enqueuers
+	// only consult it on the ring-closed slow path, so an open queue never
+	// pays for the close feature.
+	closed atomic.Bool
 }
 
 // NewLCRQ returns an empty queue configured by cfg.
@@ -135,9 +141,10 @@ func (q *LCRQ) retireRing(h *Handle, r *CRQ) {
 	}
 }
 
-// Enqueue appends v to the queue. v must not be Bottom (use the public
+// Enqueue appends v to the queue and reports whether it was accepted; it
+// returns false only after Close. v must not be Bottom (use the public
 // typed facade for unrestricted values).
-func (q *LCRQ) Enqueue(h *Handle, v uint64) {
+func (q *LCRQ) Enqueue(h *Handle, v uint64) bool {
 	if v == Bottom {
 		panic("core: enqueue of reserved value Bottom")
 	}
@@ -159,25 +166,76 @@ func (q *LCRQ) Enqueue(h *Handle, v uint64) {
 		if crq.Enqueue(h, v) {
 			h.C.Enqueues++
 			q.unprotect(h, hpTail)
-			return
+			return true
 		}
-		// Tail CRQ is closed: append a new CRQ containing v (159-166).
+		// Tail CRQ is closed. If the queue itself has been closed, the
+		// enqueue fails instead of appending a fresh ring; Close guarantees
+		// every ring in the chain is (or will be) closed, so this check on
+		// the append slow path is the only one the hot path needs.
+		if q.closed.Load() {
+			q.unprotect(h, hpTail)
+			return false
+		}
+		// Append a new CRQ containing v (159-166).
 		newcrq := q.newRing(h, v)
 		h.C.CAS++
 		if crq.next.CompareAndSwap(nil, newcrq) {
+			chaos.Delay(chaos.Handoff)
 			h.C.CAS++
 			if !q.tail.CompareAndSwap(crq, newcrq) {
 				h.C.CASFail++
 			}
 			h.C.Appends++
 			h.C.Enqueues++
+			// A Close racing with this append may have walked the chain
+			// before newcrq was visible. Re-checking after the publication
+			// CAS closes the race: if the flag is now set, either Close saw
+			// newcrq and closed it, or we close it ourselves here. The item
+			// just seeded stays and will be drained.
+			if q.closed.Load() {
+				newcrq.closeRing(h)
+			}
 			q.unprotect(h, hpTail)
-			return
+			return true
 		}
 		h.C.CASFail++
 		q.releaseRing(newcrq) // lost the race; ring was never visible
 	}
 }
+
+// Close permanently closes the queue to new enqueues. Enqueues that begin
+// after Close returns fail (Enqueue returns false); dequeues continue to
+// drain the items already in the queue and report empty afterwards.
+// Operations concurrent with Close may linearize on either side of it.
+// Close is idempotent and safe to call concurrently.
+func (q *LCRQ) Close(h *Handle) {
+	q.closed.Store(true)
+	h.enter()
+	defer h.exit()
+	// Close every ring reachable at the chain's end. An appender that
+	// published a ring before observing the closed flag re-checks the flag
+	// after publication (see Enqueue), so any ring this walk misses is
+	// closed by its appender; the walk and that re-check together guarantee
+	// the chain ends in a closed ring with no open successor.
+	for {
+		crq := q.protect(h, hpTail, &q.tail)
+		if next := crq.next.Load(); next != nil {
+			h.C.CAS++
+			if !q.tail.CompareAndSwap(crq, next) {
+				h.C.CASFail++
+			}
+			continue
+		}
+		crq.closeRing(h)
+		if crq.next.Load() == nil {
+			q.unprotect(h, hpTail)
+			return
+		}
+	}
+}
+
+// Closed reports whether Close has been called.
+func (q *LCRQ) Closed() bool { return q.closed.Load() }
 
 // Dequeue removes and returns the oldest value. ok is false if the queue
 // is empty.
@@ -210,6 +268,7 @@ func (q *LCRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 			q.unprotect(h, hpHead)
 			return v, true
 		}
+		chaos.Delay(chaos.Handoff)
 		h.C.CAS++
 		if q.head.CompareAndSwap(crq, crq.next.Load()) {
 			q.retireRing(h, crq)

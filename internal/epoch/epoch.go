@@ -19,6 +19,7 @@ package epoch
 import (
 	"sync/atomic"
 
+	"lcrq/internal/chaos"
 	"lcrq/internal/pad"
 )
 
@@ -89,6 +90,9 @@ func (r *Record[T]) Release() {
 // until Unpin. Pins must not be nested.
 func (r *Record[T]) Pin() {
 	e := r.domain.global.Load()
+	// Stall between reading the global epoch and publishing the pin: the
+	// window in which an advancing reclaimer may not count this thread.
+	chaos.Delay(chaos.EpochWindow)
 	r.local.Store(activeBit | e)
 	// The atomic store orders the pin before subsequent loads on x86 TSO
 	// and establishes the edge the reclaimer's scan needs.
@@ -118,6 +122,7 @@ func (r *Record[T]) Retire(p *T, reclaim func(*T)) {
 // record's safe generation.
 func (r *Record[T]) tryAdvance() {
 	d := r.domain
+	chaos.Delay(chaos.EpochWindow)
 	e := d.global.Load()
 	for rec := d.records.Load(); rec != nil; rec = rec.next {
 		l := rec.local.Load()

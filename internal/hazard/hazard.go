@@ -22,6 +22,8 @@ package hazard
 
 import (
 	"sync/atomic"
+
+	"lcrq/internal/chaos"
 )
 
 // Domain groups the hazard-pointer records that protect one family of nodes
@@ -106,6 +108,9 @@ func (r *Record[T]) Protect(i int, p *T) *T {
 func (r *Record[T]) ProtectPtr(i int, src *atomic.Pointer[T]) *T {
 	for {
 		p := src.Load()
+		// The load→publish window is the classic hazard-pointer race: a
+		// retirer that scans here does not yet see our claim on p.
+		chaos.Delay(chaos.HazardWindow)
 		r.hps[i].Store(p)
 		if src.Load() == p {
 			return p
@@ -137,6 +142,9 @@ func (r *Record[T]) scan() {
 	if len(r.retired) == 0 {
 		return
 	}
+	// Delay between retirement and the protection snapshot, widening the
+	// window a concurrent ProtectPtr must win to keep its node alive.
+	chaos.Delay(chaos.HazardWindow)
 	protected := make(map[*T]struct{}, 16)
 	for rec := r.domain.records.Load(); rec != nil; rec = rec.next {
 		for i := range rec.hps {

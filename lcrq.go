@@ -31,8 +31,11 @@
 package lcrq
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
+	"time"
 
 	"lcrq/internal/core"
 )
@@ -40,6 +43,10 @@ import (
 // Reserved is the single uint64 value that cannot be stored in a raw Queue.
 // Enqueueing it panics. Use Typed to lift the restriction.
 const Reserved = core.Bottom
+
+// ErrClosed is returned by DequeueWait once the queue has been closed and
+// fully drained: no value is coming, ever.
+var ErrClosed = errors.New("lcrq: queue closed")
 
 // Queue is an unbounded nonblocking MPMC FIFO queue of uint64 values.
 // All methods are safe for concurrent use.
@@ -85,12 +92,72 @@ func (q *Queue) NewHandle() *Handle {
 // batch operations by cluster. Harmless to leave at 0 otherwise.
 func (h *Handle) SetCluster(cluster int) { h.h.Cluster = int64(cluster) }
 
-// Enqueue appends v to the queue. v must not equal Reserved.
-func (h *Handle) Enqueue(v uint64) { h.q.q.Enqueue(h.h, v) }
+// Enqueue appends v to the queue and reports whether it was accepted: ok is
+// false only once the queue has been closed. v must not equal Reserved.
+func (h *Handle) Enqueue(v uint64) (ok bool) { return h.q.q.Enqueue(h.h, v) }
 
 // Dequeue removes and returns the oldest value; ok is false if the queue
 // was observed empty.
 func (h *Handle) Dequeue() (v uint64, ok bool) { return h.q.q.Dequeue(h.h) }
+
+// DequeueWait blocks until a value is available and returns it. It fails
+// with ErrClosed once the queue has been closed and drained, or with
+// ctx.Err() when ctx is done first; the returned value is meaningless on
+// error. A nil ctx waits without cancellation.
+//
+// Waiting is a spin phase followed by bounded exponential backoff sleeps
+// (see WithWaitBackoff), so an idle waiter costs no CPU while a busy queue
+// is polled at full speed. Enqueues concurrent with Close may linearize on
+// either side of it: a waiter that has already returned ErrClosed does not
+// see items deposited by such stragglers (a later Dequeue or Drain does).
+func (h *Handle) DequeueWait(ctx context.Context) (uint64, error) {
+	cfg := h.q.q.Config()
+	backoff := cfg.WaitBackoffMin
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for spin := 0; ; spin++ {
+		// Read the closed flag before polling: observing (closed, then
+		// empty) in that order proves the queue was drained, because no
+		// enqueue that starts after Close can succeed.
+		closed := h.q.q.Closed()
+		if v, ok := h.Dequeue(); ok {
+			return v, nil
+		}
+		if closed {
+			return 0, ErrClosed
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return 0, ctx.Err()
+			default:
+			}
+		}
+		if spin < 8 {
+			runtime.Gosched()
+			continue
+		}
+		timer := time.NewTimer(backoff)
+		if done != nil {
+			select {
+			case <-done:
+				timer.Stop()
+				return 0, ctx.Err()
+			case <-timer.C:
+			}
+		} else {
+			<-timer.C
+		}
+		if backoff < cfg.WaitBackoffMax {
+			backoff *= 2
+			if backoff > cfg.WaitBackoffMax {
+				backoff = cfg.WaitBackoffMax
+			}
+		}
+	}
+}
 
 // Stats returns a snapshot of the operation statistics accumulated by this
 // handle. Meaningful only while the owning goroutine is not mid-operation.
@@ -100,11 +167,13 @@ func (h *Handle) Stats() Stats { return statsFromCounters(&h.h.C) }
 // queue. The handle must not be used afterwards.
 func (h *Handle) Release() { h.h.Release() }
 
-// Enqueue appends v using a pooled handle. v must not equal Reserved.
-func (q *Queue) Enqueue(v uint64) {
+// Enqueue appends v using a pooled handle and reports whether it was
+// accepted (false only after Close). v must not equal Reserved.
+func (q *Queue) Enqueue(v uint64) (ok bool) {
 	h := q.pool.Get().(*Handle)
-	h.Enqueue(v)
+	ok = h.Enqueue(v)
 	q.pool.Put(h)
+	return ok
 }
 
 // Dequeue removes and returns the oldest value using a pooled handle.
@@ -115,10 +184,24 @@ func (q *Queue) Dequeue() (v uint64, ok bool) {
 	return v, ok
 }
 
+// Close permanently closes the queue to new enqueues: Enqueue calls that
+// begin after Close returns report false, while dequeues keep draining the
+// items already queued and report empty once they are gone. Operations
+// concurrent with Close may linearize on either side of it. Close is
+// idempotent and safe to call concurrently with all other operations.
+func (q *Queue) Close() {
+	h := q.pool.Get().(*Handle)
+	q.q.Close(h.h)
+	q.pool.Put(h)
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue) Closed() bool { return q.q.Closed() }
+
 // Drain repeatedly dequeues until the queue reports empty, invoking fn for
 // each value, and returns the number of values drained. Concurrent
 // enqueuers may keep it busy indefinitely; Drain is meant for shutdown
-// paths after producers have stopped.
+// paths — typically after Close, or once producers have stopped.
 func (q *Queue) Drain(fn func(uint64)) int {
 	h := q.pool.Get().(*Handle)
 	defer q.pool.Put(h)

@@ -173,10 +173,20 @@ func TestPooledHandlesSurviveGC(t *testing.T) {
 	if _, ok := q.Dequeue(); ok {
 		t.Fatal("queue should be empty")
 	}
-	// Double release must be safe (finalizer after explicit Release).
+	// Double release is a guarded bug: the second call must panic (see
+	// TestDoubleReleasePanicsPublic) rather than hand the reclamation
+	// record out twice. Pooled handles are never explicitly released, so
+	// their finalizer-driven Release runs at most once.
 	h := q.NewHandle()
 	h.Release()
-	h.Release()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double Release did not panic")
+			}
+		}()
+		h.Release()
+	}()
 }
 
 func TestQueueConcurrentSmoke(t *testing.T) {

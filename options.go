@@ -90,3 +90,15 @@ func WithSpinWait(iters int) Option {
 func WithStarvationLimit(attempts int) Option {
 	return func(c *core.Config) { c.StarvationLimit = attempts }
 }
+
+// WithWaitBackoff bounds the exponential backoff DequeueWait uses while the
+// queue is empty: after a brief spin the waiter sleeps min, doubling up to
+// max. Zero values select the defaults (4 µs and 1 ms); max is raised to
+// min if it is smaller. Lower bounds poll more aggressively (lower latency,
+// more CPU while idle); higher bounds do the opposite.
+func WithWaitBackoff(min, max time.Duration) Option {
+	return func(c *core.Config) {
+		c.WaitBackoffMin = min
+		c.WaitBackoffMax = max
+	}
+}

@@ -1,6 +1,7 @@
 package lcrq
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -90,14 +91,24 @@ func (t *Typed[T]) grow(h *TypedHandle[T]) uint64 {
 	return base
 }
 
-// Enqueue appends v to the queue.
-func (h *TypedHandle[T]) Enqueue(v T) {
+// Enqueue appends v to the queue and reports whether it was accepted (false
+// only after Close).
+func (h *TypedHandle[T]) Enqueue(v T) (ok bool) {
 	idx, ok := h.free.Dequeue()
 	if !ok {
 		idx = h.t.grow(h)
 	}
 	*h.t.slot(idx) = v
-	h.main.Enqueue(idx)
+	if !h.main.Enqueue(idx) {
+		// Queue closed: clear the slot and recycle its index. The free
+		// list is a private, never-closed queue, so recycling still works
+		// after Close.
+		var zero T
+		*h.t.slot(idx) = zero
+		h.free.Enqueue(idx)
+		return false
+	}
+	return true
 }
 
 // Dequeue removes and returns the oldest value; ok is false if the queue
@@ -116,12 +127,37 @@ func (h *TypedHandle[T]) Dequeue() (v T, ok bool) {
 	return v, true
 }
 
-// Enqueue appends v using a pooled handle; see Queue.Enqueue for the
-// performance caveat.
-func (t *Typed[T]) Enqueue(v T) {
+// DequeueWait blocks until a value is available; it fails with ErrClosed
+// once the queue is closed and drained, or with ctx.Err() when ctx is done
+// first. See Handle.DequeueWait for the waiting strategy.
+func (h *TypedHandle[T]) DequeueWait(ctx context.Context) (v T, err error) {
+	idx, err := h.main.DequeueWait(ctx)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	p := h.t.slot(idx)
+	v = *p
+	var zero T
+	*p = zero
+	h.free.Enqueue(idx)
+	return v, nil
+}
+
+// Close permanently closes the queue to new enqueues; dequeues drain the
+// remaining items. Idempotent and safe for concurrent use.
+func (t *Typed[T]) Close() { t.main.Close() }
+
+// Closed reports whether Close has been called.
+func (t *Typed[T]) Closed() bool { return t.main.Closed() }
+
+// Enqueue appends v using a pooled handle and reports whether it was
+// accepted; see Queue.Enqueue for the performance caveat.
+func (t *Typed[T]) Enqueue(v T) (ok bool) {
 	h := t.pool.Get().(*TypedHandle[T])
-	h.Enqueue(v)
+	ok = h.Enqueue(v)
 	t.pool.Put(h)
+	return ok
 }
 
 // Dequeue removes and returns the oldest value using a pooled handle.
