@@ -357,3 +357,43 @@ func maxHW() int {
 	}
 	return 1
 }
+
+// BenchmarkEnqueueDequeue measures the telemetry layer's fast-path cost:
+// "off" is the default build (nil-check only), "on" enables counters with
+// the default 1-in-1024 latency sampling, and "sampled-64" exaggerates the
+// sampling rate 16×. Compare off against historical numbers (or against
+// BenchmarkUncontended/handle) to confirm the disabled layer is free.
+func BenchmarkEnqueueDequeue(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"off", nil},
+		{"on", []Option{WithTelemetry()}},
+		{"sampled-64", []Option{WithLatencySampling(64)}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			q := New(tc.opts...)
+			h := q.NewHandle()
+			defer h.Release()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Enqueue(uint64(i))
+				h.Dequeue()
+			}
+		})
+		b.Run(tc.name+"-parallel", func(b *testing.B) {
+			q := New(tc.opts...)
+			b.RunParallel(func(pb *testing.PB) {
+				h := q.NewHandle()
+				defer h.Release()
+				var i uint64
+				for pb.Next() {
+					h.Enqueue(i)
+					h.Dequeue()
+					i++
+				}
+			})
+		})
+	}
+}

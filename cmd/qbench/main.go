@@ -12,12 +12,14 @@
 //	qbench -queues lcrq,ms-queue -threads 1,2,4 -pairs 50000   # custom sweep
 //
 // Flags -pairs, -runs, -maxthreads, and -ring scale any experiment; -csv
-// switches figure output to CSV; -chart adds an ASCII chart.
+// switches figure output to CSV; -chart adds an ASCII chart; -metrics PATH
+// additionally writes the results as a JSON sidecar for dashboards.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -46,6 +48,7 @@ func main() {
 		threadsF   = flag.String("threads", "1,2,4,8", "custom sweep: comma-separated thread counts")
 		prefill    = flag.Int("prefill", 0, "custom sweep: items pre-inserted")
 		enqRatio   = flag.Float64("enqratio", 0, "custom sweep: mixed workload enqueue probability (0 = paper's pairs)")
+		metricsOut = flag.String("metrics", "", "also write results as a JSON sidecar to this path")
 	)
 	flag.Parse()
 
@@ -61,11 +64,12 @@ func main() {
 		}
 	}
 
+	mode := outputMode{csv: *csv, json: *jsonOut, chart: *chart, metrics: *metricsOut}
 	switch {
 	case *list:
 		printList()
 	case *fig != "":
-		if err := runFigure(*fig, sc, outputMode{csv: *csv, json: *jsonOut, chart: *chart}); err != nil {
+		if err := runFigure(*fig, sc, mode); err != nil {
 			fatal(err)
 		}
 	case *table != "":
@@ -77,6 +81,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if err := mode.sidecar(func(w io.Writer) error { return render.JSONTable(w, res) }); err != nil {
+			fatal(err)
+		}
 		if *jsonOut {
 			if err := render.JSONTable(os.Stdout, res); err != nil {
 				fatal(err)
@@ -85,8 +92,7 @@ func main() {
 			render.Table(os.Stdout, res)
 		}
 	case *queuesFlag != "":
-		if err := runCustom(*queuesFlag, *threadsF, *prefill, *enqRatio, sc,
-			outputMode{csv: *csv, json: *jsonOut, chart: *chart}); err != nil {
+		if err := runCustom(*queuesFlag, *threadsF, *prefill, *enqRatio, sc, mode); err != nil {
 			fatal(err)
 		}
 	default:
@@ -95,14 +101,37 @@ func main() {
 	}
 }
 
-// outputMode selects how results are rendered.
+// outputMode selects how results are rendered. metrics, when nonempty, is a
+// path that additionally receives the results as JSON — a machine-readable
+// sidecar independent of the human-oriented stdout rendering, so dashboards
+// can ingest every run without giving up the terminal tables.
 type outputMode struct {
-	csv   bool
-	json  bool
-	chart bool
+	csv     bool
+	json    bool
+	chart   bool
+	metrics string
+}
+
+// sidecar writes the JSON form of the results to the -metrics path, if set.
+func (m outputMode) sidecar(write func(io.Writer) error) error {
+	if m.metrics == "" {
+		return nil
+	}
+	f, err := os.Create(m.metrics)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func (m outputMode) figure(res *harness.FigureResult) error {
+	if err := m.sidecar(func(w io.Writer) error { return render.JSONFigure(w, res) }); err != nil {
+		return err
+	}
 	switch {
 	case m.json:
 		return render.JSONFigure(os.Stdout, res)
@@ -131,6 +160,9 @@ func runFigure(id string, sc harness.Scale, mode outputMode) error {
 		if err != nil {
 			return err
 		}
+		if err := mode.sidecar(func(w io.Writer) error { return render.JSONLatency(w, res) }); err != nil {
+			return err
+		}
 		if mode.json {
 			return render.JSONLatency(os.Stdout, res)
 		}
@@ -140,6 +172,9 @@ func runFigure(id string, sc harness.Scale, mode outputMode) error {
 	if spec, ok := harness.RingSweeps()[id]; ok {
 		res, err := harness.RunRingSweep(spec, sc)
 		if err != nil {
+			return err
+		}
+		if err := mode.sidecar(func(w io.Writer) error { return render.JSONRingSweep(w, res) }); err != nil {
 			return err
 		}
 		if mode.json {

@@ -20,6 +20,9 @@ const (
 	// MaxRingOrder keeps index arithmetic (idx+R) comfortably inside the
 	// 63-bit index field. The paper's largest evaluated ring is 2^17.
 	MaxRingOrder = 26
+	// DefaultLatencySampleN is the default 1-in-N latency sampling stride
+	// when telemetry is enabled without an explicit rate.
+	DefaultLatencySampleN = 1024
 )
 
 // Reclamation selects how retired CRQ rings are protected and reclaimed.
@@ -111,6 +114,23 @@ type Config struct {
 	// ReclaimHazard. Setting NoHazard forces ReclaimGC.
 	Reclamation Reclamation
 
+	// Telemetry enables the live telemetry layer: per-handle counters are
+	// periodically published for lock-free aggregation, per-op latency is
+	// sampled 1-in-LatencySampleN, and ring-lifecycle events are delivered
+	// to Tap. Off by default; when off, the operation fast path is guarded
+	// by a single nil-pointer check and nothing else.
+	Telemetry bool
+
+	// LatencySampleN is the telemetry latency sampling stride: every N-th
+	// operation per handle is timed. 0 selects DefaultLatencySampleN;
+	// negative disables latency sampling while keeping counters and gauges.
+	LatencySampleN int
+
+	// Tap receives ring-lifecycle events from the queue's slow paths (see
+	// RingEvent). The public layer installs the telemetry sink here; nil
+	// disables event delivery. Taps never run on the fast path.
+	Tap Tap
+
 	// WaitBackoffMin and WaitBackoffMax bound the exponential backoff the
 	// public DequeueWait uses between empty polls: after a brief spin the
 	// waiter sleeps WaitBackoffMin, doubling up to WaitBackoffMax. Zero
@@ -153,6 +173,12 @@ func (c Config) normalized() Config {
 	}
 	if c.WaitBackoffMax < c.WaitBackoffMin {
 		c.WaitBackoffMax = c.WaitBackoffMin
+	}
+	if c.LatencySampleN == 0 {
+		c.LatencySampleN = DefaultLatencySampleN
+	}
+	if c.LatencySampleN < 0 {
+		c.LatencySampleN = 0 // sampling disabled
 	}
 	if c.NoHazard {
 		c.Reclamation = ReclaimGC

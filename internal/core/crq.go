@@ -96,11 +96,17 @@ func (q *CRQ) Size() int { return int(q.size) }
 func (q *CRQ) Closed() bool { return q.tail.Load()&closedBit != 0 }
 
 // close sets the CLOSED bit with a test-and-set (the paper uses LOCK BTS;
-// an atomic OR of a single bit is the identical x86 idiom).
-func (q *CRQ) closeRing(h *Handle) {
+// an atomic OR of a single bit is the identical x86 idiom). ev attributes
+// the close in the lifecycle trace (full/helping close vs. tantrum); the
+// event fires only when this call performed the transition, so concurrent
+// closers do not flood the trace.
+func (q *CRQ) closeRing(h *Handle, ev RingEvent) {
 	h.C.TAS++
 	h.C.Closes++
-	q.tail.Or(closedBit)
+	was := q.tail.Or(closedBit)
+	if was&closedBit == 0 && q.cfg.Tap != nil {
+		q.cfg.Tap.RingEvent(ev)
+	}
 }
 
 // cas2 performs a cell CAS2 on behalf of h, counting the attempt and any
@@ -171,7 +177,7 @@ func (q *CRQ) Enqueue(h *Handle, v uint64) bool {
 	for {
 		// Forced close: behave as if this attempt had observed a full ring.
 		if chaos.Fire(chaos.RingClose) {
-			q.closeRing(h)
+			q.closeRing(h, EvRingClose)
 			return false
 		}
 		tc := q.faaTail(h)
@@ -202,8 +208,12 @@ func (q *CRQ) Enqueue(h *Handle, v uint64) bool {
 		if chaos.Fire(chaos.Tantrum) {
 			tries = q.cfg.StarvationLimit // forced starvation: throw the tantrum now
 		}
-		if int64(t-hd) >= int64(q.size) || tries >= q.cfg.StarvationLimit {
-			q.closeRing(h)
+		if full := int64(t-hd) >= int64(q.size); full || tries >= q.cfg.StarvationLimit {
+			ev := EvRingTantrum
+			if full {
+				ev = EvRingClose
+			}
+			q.closeRing(h, ev)
 			return false
 		}
 		h.C.CellRetries++

@@ -34,6 +34,15 @@ type LCRQ struct {
 	// only consult it on the ring-closed slow path, so an open queue never
 	// pays for the close feature.
 	closed atomic.Bool
+
+	// Telemetry gauges, touched only on the append/retire/recycle slow
+	// paths (never per operation): rings counts the segments currently
+	// linked in the list; recPuts/recGets count recycler round-trips, whose
+	// difference approximates the pool's population (the GC may drain
+	// sync.Pool entries, so it is an upper bound).
+	rings   atomic.Int64
+	recPuts atomic.Uint64
+	recGets atomic.Uint64
 }
 
 // NewLCRQ returns an empty queue configured by cfg.
@@ -49,7 +58,16 @@ func NewLCRQ(cfg Config) *LCRQ {
 	first := NewCRQ(cfg)
 	q.head.Store(first)
 	q.tail.Store(first)
+	q.rings.Store(1)
 	return q
+}
+
+// tap delivers a ring-lifecycle event to the configured Tap, if any. All
+// call sites are slow paths.
+func (q *LCRQ) tap(ev RingEvent) {
+	if q.cfg.Tap != nil {
+		q.cfg.Tap.RingEvent(ev)
+	}
 }
 
 // Config returns the queue's normalized configuration.
@@ -101,19 +119,21 @@ func (q *LCRQ) unprotect(h *Handle, slot int) {
 }
 
 // newRing produces a CRQ seeded with v, recycling a retired ring when
-// possible.
-func (q *LCRQ) newRing(h *Handle, v uint64) *CRQ {
+// possible. recycled reports which source served the request, so the caller
+// can attribute the ring once it is actually published.
+func (q *LCRQ) newRing(h *Handle, v uint64) (r *CRQ, recycled bool) {
 	if !q.cfg.NoRecycle {
 		if r, ok := q.pool.Get().(*CRQ); ok && r != nil {
+			q.recGets.Add(1)
 			r.reset()
 			r.seed(v)
 			h.C.Recycled++
-			return r
+			return r, true
 		}
 	}
-	r := NewCRQ(q.cfg)
+	r = NewCRQ(q.cfg)
 	r.seed(v)
-	return r
+	return r, false
 }
 
 // releaseRing returns a ring that was never published (a lost append race)
@@ -122,6 +142,7 @@ func (q *LCRQ) releaseRing(r *CRQ) {
 	if q.cfg.NoRecycle {
 		return
 	}
+	q.recPuts.Add(1)
 	q.pool.Put(r)
 }
 
@@ -129,9 +150,14 @@ func (q *LCRQ) releaseRing(r *CRQ) {
 // scheme proves no thread can still access it. In GC mode the garbage
 // collector is the reclaimer and there is nothing to do.
 func (q *LCRQ) retireRing(h *Handle, r *CRQ) {
+	q.rings.Add(-1)
+	q.tap(EvRingRetire)
 	var reclaim func(*CRQ)
 	if !q.cfg.NoRecycle {
-		reclaim = func(old *CRQ) { q.pool.Put(old) }
+		reclaim = func(old *CRQ) {
+			q.recPuts.Add(1)
+			q.pool.Put(old)
+		}
 	}
 	switch {
 	case h.hp != nil:
@@ -139,6 +165,55 @@ func (q *LCRQ) retireRing(h *Handle, r *CRQ) {
 	case h.ep != nil:
 		h.ep.Retire(r, reclaim)
 	}
+}
+
+// LiveRings returns the number of ring segments currently linked in the
+// queue's list (a just-retired ring is counted out as soon as it is
+// unlinked, before reclamation completes).
+func (q *LCRQ) LiveRings() int64 { return q.rings.Load() }
+
+// RecyclerSize returns an approximation of the recycler pool's population:
+// puts minus successful gets. The garbage collector may drain pooled rings
+// at any time, so the true population is at most this value.
+func (q *LCRQ) RecyclerSize() int64 {
+	n := int64(q.recPuts.Load()) - int64(q.recGets.Load())
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// depthWalkLimit bounds the Depth chain walk. Under hazard-pointer
+// reclamation only the head ring is protected, so a concurrent recycle can
+// splice a walked ring elsewhere; the bound keeps the (approximate) walk
+// from chasing such a transient cycle.
+const depthWalkLimit = 1024
+
+// Depth returns an approximation of the number of queued items — the sum of
+// the per-ring tail−head index deltas, each clamped to the ring capacity —
+// together with the number of rings visited. The value is exact only when
+// the queue is quiescent: concurrent operations move the indices while the
+// walk reads them, and rings past the protected head may be recycled
+// mid-walk. Cost is one atomic load pair per ring; nothing on the op path.
+func (q *LCRQ) Depth(h *Handle) (depth int64, rings int) {
+	h.enter()
+	defer h.exit()
+	crq := q.protect(h, hpHead, &q.head)
+	defer q.unprotect(h, hpHead)
+	for crq != nil && rings < depthWalkLimit {
+		t := crq.tail.Load() &^ closedBit
+		hd := crq.head.Load()
+		if t > hd {
+			d := int64(t - hd)
+			if d > int64(crq.size) {
+				d = int64(crq.size)
+			}
+			depth += d
+		}
+		rings++
+		crq = crq.next.Load()
+	}
+	return depth, rings
 }
 
 // Enqueue appends v to the queue and reports whether it was accepted; it
@@ -177,9 +252,14 @@ func (q *LCRQ) Enqueue(h *Handle, v uint64) bool {
 			return false
 		}
 		// Append a new CRQ containing v (159-166).
-		newcrq := q.newRing(h, v)
+		newcrq, recycled := q.newRing(h, v)
 		h.C.CAS++
 		if crq.next.CompareAndSwap(nil, newcrq) {
+			q.rings.Add(1)
+			q.tap(EvRingAppend)
+			if recycled {
+				q.tap(EvRingRecycle)
+			}
 			chaos.Delay(chaos.Handoff)
 			h.C.CAS++
 			if !q.tail.CompareAndSwap(crq, newcrq) {
@@ -193,7 +273,7 @@ func (q *LCRQ) Enqueue(h *Handle, v uint64) bool {
 			// newcrq and closed it, or we close it ourselves here. The item
 			// just seeded stays and will be drained.
 			if q.closed.Load() {
-				newcrq.closeRing(h)
+				newcrq.closeRing(h, EvRingClose)
 			}
 			q.unprotect(h, hpTail)
 			return true
@@ -209,7 +289,9 @@ func (q *LCRQ) Enqueue(h *Handle, v uint64) bool {
 // Operations concurrent with Close may linearize on either side of it.
 // Close is idempotent and safe to call concurrently.
 func (q *LCRQ) Close(h *Handle) {
-	q.closed.Store(true)
+	if q.closed.CompareAndSwap(false, true) {
+		q.tap(EvQueueClose)
+	}
 	h.enter()
 	defer h.exit()
 	// Close every ring reachable at the chain's end. An appender that
@@ -226,7 +308,7 @@ func (q *LCRQ) Close(h *Handle) {
 			}
 			continue
 		}
-		crq.closeRing(h)
+		crq.closeRing(h, EvRingClose)
 		if crq.next.Load() == nil {
 			q.unprotect(h, hpTail)
 			return

@@ -16,8 +16,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -185,24 +187,29 @@ func runOnce(w Workload, place *affinity.Placement, run int) (time.Duration, *in
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			runtime.LockOSThread()
-			defer runtime.UnlockOSThread()
-			if w.Pin && affinity.CanPin() {
-				_ = affinity.PinSelf(place.CPUOf[t])
-			}
-			h := q.NewHandle(t, place.ClusterOf[t])
-			rng := xrand.New(uint64(run)<<32 | uint64(t+1))
-			var lh *hist.H
-			if w.LatencySample > 0 {
-				lh = &hist.H{}
-			}
-			ready.Add(1)
-			for start.Load() == 0 {
-			}
-			workerLoop(h, w, rng, lh, t)
-			perThreadCtr[t] = *h.Counters()
-			perThreadH[t] = lh
-			h.Release()
+			// Label the worker for CPU profiles: `go tool pprof -tagfocus`
+			// can then isolate one queue implementation or one worker.
+			labels := pprof.Labels("queue", w.Queue, "worker", fmt.Sprint(t))
+			pprof.Do(context.Background(), labels, func(context.Context) {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+				if w.Pin && affinity.CanPin() {
+					_ = affinity.PinSelf(place.CPUOf[t])
+				}
+				h := q.NewHandle(t, place.ClusterOf[t])
+				rng := xrand.New(uint64(run)<<32 | uint64(t+1))
+				var lh *hist.H
+				if w.LatencySample > 0 {
+					lh = &hist.H{}
+				}
+				ready.Add(1)
+				for start.Load() == 0 {
+				}
+				workerLoop(h, w, rng, lh, t)
+				perThreadCtr[t] = *h.Counters()
+				perThreadH[t] = lh
+				h.Release()
+			})
 		}(t)
 	}
 	for int(ready.Load()) < w.Threads {

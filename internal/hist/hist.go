@@ -1,11 +1,19 @@
 // Package hist implements a log-linear latency histogram, the data structure
-// behind the operation-latency CDFs of Figure 8 in the LCRQ paper.
+// behind the operation-latency CDFs of Figure 8 in the LCRQ paper and the
+// sampled latency series of the live telemetry layer.
 //
-// The histogram covers [1 ns, ~146 µs·2^k] with bounded relative error: each
-// power-of-two range is split into 32 linear sub-buckets, giving a worst-case
-// quantile error of about 3%. Recording is a handful of integer operations
+// The histogram covers [1 ns, ~2^37 ns] with bounded relative error: each
+// power-of-two range is split into 64 linear sub-buckets, giving a worst-case
+// bucket width of about 1.6% of the value. Values below 64 ns land in exact
+// 1 ns buckets, so the sub-100 ns fast-path latencies of an uncontended
+// queue operation are resolved to ≤2 ns rather than being smeared across a
+// coarse bench-scale bucket. Recording is a handful of integer operations
 // and never allocates, so workers can record on the measurement path; each
 // worker owns a private histogram and the harness merges them afterwards.
+//
+// The bucket layout (Bucket, BucketLow, NumBuckets) is exported so that
+// concurrent aggregators — internal/telemetry keeps one atomic counter per
+// bucket — can share the mapping and rebuild an H via FromBuckets.
 package hist
 
 import (
@@ -16,12 +24,16 @@ import (
 )
 
 const (
-	subBits    = 5 // 32 linear sub-buckets per octave
+	subBits    = 6 // 64 linear sub-buckets per octave
 	subBuckets = 1 << subBits
-	// octaves covers values up to 2^(octaves+subBits-1) - 1 ≈ 2^36 ns ≈ 68 s,
+	// octaves covers values up to about 2^(octaves+subBits-1) ns ≈ 137 s,
 	// far beyond any queue-operation latency.
 	octaves    = 32
 	numBuckets = octaves * subBuckets
+
+	// NumBuckets is the number of buckets in the fixed layout shared by
+	// every H (and by external per-bucket aggregators).
+	NumBuckets = numBuckets
 )
 
 // H is a latency histogram. Values are recorded in nanoseconds. The zero
@@ -58,6 +70,52 @@ func bucketLow(i int) int64 {
 		return int64(sub)
 	}
 	return (int64(subBuckets) + int64(sub)) << uint(octave-1)
+}
+
+// Bucket maps a nanosecond value to its bucket index in [0, NumBuckets).
+// Negative values map to bucket 0; values beyond the layout's range map to
+// NumBuckets (the overflow pseudo-bucket).
+func Bucket(v int64) int {
+	if v < 0 {
+		return 0
+	}
+	b := bucket(v)
+	if b > numBuckets {
+		return numBuckets
+	}
+	return b
+}
+
+// BucketLow returns the inclusive lower edge of bucket i; bucket i holds
+// values in [BucketLow(i), BucketLow(i+1)). i == NumBuckets gives the upper
+// edge of the layout (the overflow threshold).
+func BucketLow(i int) int64 { return bucketLow(i) }
+
+// FromBuckets rebuilds a histogram from externally accumulated per-bucket
+// counts (len(counts) must be NumBuckets; overflow counts values at or above
+// BucketLow(NumBuckets)). Min and max are recovered from the occupied bucket
+// edges, so they are approximate to the bucket width.
+func FromBuckets(counts []uint64, overflow uint64) *H {
+	if len(counts) != numBuckets {
+		panic("hist: FromBuckets counts length mismatch")
+	}
+	h := &H{overflow: overflow}
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		h.counts[i] = c
+		h.total += c
+		if h.total == c { // first occupied bucket
+			h.min = bucketLow(i)
+		}
+		h.max = bucketLow(i+1) - 1
+	}
+	h.total += overflow
+	if overflow > 0 {
+		h.max = bucketLow(numBuckets)
+	}
+	return h
 }
 
 // Record adds one observation of v nanoseconds. Negative values are clamped
@@ -118,9 +176,11 @@ func (h *H) Merge(o *H) {
 	}
 }
 
-// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) of the
-// recorded values, accurate to the bucket width (≈3% relative error). It
-// returns 0 for an empty histogram.
+// Quantile returns an estimate of the q-quantile (0 ≤ q ≤ 1) of the recorded
+// values, linearly interpolated within the bucket holding the target rank
+// (so the error is bounded by the bucket width, ≈1.6% of the value, and a
+// single-value bucket reports its exact edge). It returns 0 for an empty
+// histogram.
 func (h *H) Quantile(q float64) int64 {
 	if h.total == 0 {
 		return 0
@@ -139,15 +199,19 @@ func (h *H) Quantile(q float64) int64 {
 	for i, c := range h.counts {
 		seen += c
 		if seen > rank {
-			// Report the bucket's upper edge, clamped to the observed max.
-			hi := bucketLow(i+1) - 1
-			if hi > h.max {
-				hi = h.max
+			// Interpolate by the rank's position within the bucket: the
+			// pos-th of c values in [lo, hi) sits at lo + width·pos/c.
+			lo := bucketLow(i)
+			width := bucketLow(i+1) - lo
+			pos := rank - (seen - c)
+			v := lo + int64(float64(width)*float64(pos)/float64(c))
+			if v > h.max {
+				v = h.max
 			}
-			if hi < h.min {
-				hi = h.min
+			if v < h.min {
+				v = h.min
 			}
-			return hi
+			return v
 		}
 	}
 	return h.max

@@ -214,6 +214,101 @@ func TestQuantileQuickProperties(t *testing.T) {
 	}
 }
 
+func TestBucketEdgesPinned(t *testing.T) {
+	// The layout must resolve sub-100ns latencies finely: exact 1 ns
+	// buckets below 64 ns and ≤2 ns wide buckets through the first octave
+	// above it, where the uncontended enqueue/dequeue fast path lives.
+	for v := int64(0); v < 64; v++ {
+		if got := BucketLow(Bucket(v)); got != v {
+			t.Fatalf("sub-64ns bucket not exact: v=%d maps to edge %d", v, got)
+		}
+	}
+	for v := int64(64); v < 128; v++ {
+		b := Bucket(v)
+		if w := BucketLow(b+1) - BucketLow(b); w > 2 {
+			t.Fatalf("bucket width at %dns = %d, want ≤2", v, w)
+		}
+	}
+	// Pin a few absolute edges so layout changes are deliberate.
+	edges := map[int]int64{
+		0:   0,
+		63:  63,
+		64:  64, // first octave-1 bucket == subBuckets
+		128: 128,
+	}
+	for b, lo := range edges {
+		if got := BucketLow(b); got != lo {
+			t.Fatalf("BucketLow(%d) = %d, want %d", b, got, lo)
+		}
+	}
+	// The top of the layout must still exceed any plausible op latency.
+	if top := BucketLow(NumBuckets); top < int64(1)<<36 {
+		t.Fatalf("layout tops out at %dns, want ≥2^36", top)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	// 1000 uniform values in one octave: interpolation must land within a
+	// bucket width of the exact quantile, not at the bucket's upper edge.
+	var h H
+	for i := int64(0); i < 1000; i++ {
+		h.Record(1000 + i)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.99} {
+		exact := 1000 + int64(q*1000)
+		got := h.Quantile(q)
+		width := BucketLow(Bucket(exact)+1) - BucketLow(Bucket(exact))
+		if got < exact-width || got > exact+width {
+			t.Fatalf("Quantile(%v) = %d, want %d ± %d", q, got, exact, width)
+		}
+	}
+	// A single-value histogram reports that value at every quantile.
+	var one H
+	one.Record(5000)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := one.Quantile(q); got < 4900 || got > 5000 {
+			t.Fatalf("single-value Quantile(%v) = %d, want ≈5000", q, got)
+		}
+	}
+}
+
+func TestFromBuckets(t *testing.T) {
+	var direct H
+	counts := make([]uint64, NumBuckets)
+	rng := xrand.New(7)
+	for i := 0; i < 10000; i++ {
+		v := int64(rng.Uintn(500000))
+		direct.Record(v)
+		counts[Bucket(v)]++
+	}
+	rebuilt := FromBuckets(counts, 0)
+	if rebuilt.Count() != direct.Count() {
+		t.Fatalf("Count = %d, want %d", rebuilt.Count(), direct.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.999} {
+		a, b := rebuilt.Quantile(q), direct.Quantile(q)
+		// Min/max are edge-approximate in the rebuilt histogram, so allow
+		// one bucket width of slack.
+		width := BucketLow(Bucket(b)+1) - BucketLow(Bucket(b))
+		if a < b-width || a > b+width {
+			t.Fatalf("Quantile(%v): rebuilt %d vs direct %d", q, a, b)
+		}
+	}
+}
+
+func TestBucketOverflowClamped(t *testing.T) {
+	if Bucket(-1) != 0 {
+		t.Fatal("negative value must map to bucket 0")
+	}
+	if Bucket(int64(1)<<62) != NumBuckets {
+		t.Fatal("huge value must map to the overflow pseudo-bucket")
+	}
+	h := FromBuckets(make([]uint64, NumBuckets), 3)
+	if h.Count() != 3 || h.Quantile(0.5) != BucketLow(NumBuckets) {
+		t.Fatalf("overflow-only histogram: count=%d p50=%d", h.Count(), h.Quantile(0.5))
+	}
+}
+
 func BenchmarkRecord(b *testing.B) {
 	var h H
 	rng := xrand.New(3)

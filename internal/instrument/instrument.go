@@ -17,7 +17,9 @@ package instrument
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
+	"sync/atomic"
 )
 
 // Counters accumulates per-thread operation statistics.
@@ -94,6 +96,49 @@ func (c *Counters) CASFailuresPerOp() float64 {
 		return 0
 	}
 	return float64(c.CASFail+c.CAS2Fail) / float64(ops)
+}
+
+// NumFields returns the number of counter fields in Counters. Every field is
+// a uint64, a property AtomicCounters relies on (and a test enforces).
+func NumFields() int { return counterType.NumField() }
+
+var counterType = reflect.TypeOf(Counters{})
+
+// AtomicCounters is an atomically readable mirror of a Counters value: the
+// owning thread Stores its plain counters into it at a coarse cadence, and
+// any thread may Load a torn-free (per-field consistent) copy concurrently.
+// This is the publication half of the telemetry layer's counter aggregation:
+// the fast path keeps its plain single-writer fields, and only the amortized
+// publication touches atomics. Field mapping is by reflection over Counters,
+// so newly added counters are picked up automatically.
+type AtomicCounters struct {
+	v []atomic.Uint64
+}
+
+// NewAtomicCounters returns an empty mirror sized to Counters.
+func NewAtomicCounters() *AtomicCounters {
+	return &AtomicCounters{v: make([]atomic.Uint64, NumFields())}
+}
+
+// Store publishes a snapshot of c. Only the owner of c may call Store, and
+// not concurrently with itself.
+func (a *AtomicCounters) Store(c *Counters) {
+	rv := reflect.ValueOf(c).Elem()
+	for i := range a.v {
+		a.v[i].Store(rv.Field(i).Uint())
+	}
+}
+
+// Load returns the most recently published snapshot. Safe to call from any
+// thread; fields published by different Store calls may be mixed, which is
+// fine for monotone counters read for monitoring.
+func (a *AtomicCounters) Load() Counters {
+	var c Counters
+	rv := reflect.ValueOf(&c).Elem()
+	for i := range a.v {
+		rv.Field(i).SetUint(a.v[i].Load())
+	}
+	return c
 }
 
 // String renders the counters in a compact single-line form for logs.

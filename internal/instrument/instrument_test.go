@@ -30,6 +30,28 @@ func TestAddAccumulatesEveryField(t *testing.T) {
 	}
 }
 
+func TestAtomicCountersRoundTrip(t *testing.T) {
+	// Every Counters field must be uint64: AtomicCounters mirrors the struct
+	// field-by-field through atomic.Uint64 slots.
+	rt := reflect.TypeOf(Counters{})
+	for i := 0; i < rt.NumField(); i++ {
+		if rt.Field(i).Type.Kind() != reflect.Uint64 {
+			t.Fatalf("Counters.%s is %v, want uint64", rt.Field(i).Name, rt.Field(i).Type)
+		}
+	}
+	c := &Counters{}
+	v := reflect.ValueOf(c).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(7 + uint64(i)*13)
+	}
+	a := NewAtomicCounters()
+	a.Store(c)
+	got := a.Load()
+	if !reflect.DeepEqual(&got, c) {
+		t.Fatalf("round trip lost fields:\ngot  %+v\nwant %+v", got, c)
+	}
+}
+
 func TestOps(t *testing.T) {
 	c := Counters{Enqueues: 3, Dequeues: 5}
 	if c.Ops() != 8 {

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"lcrq/internal/core"
+)
+
+// Event is one entry of the ring-lifecycle trace.
+type Event struct {
+	Seq  uint64 // global 0-based event sequence number
+	Kind core.RingEvent
+	Time time.Time
+}
+
+// eventRing is a bounded lock-free MPMC trace buffer. Writers claim a slot
+// with a fetch-and-add — the same always-succeeds idiom as the queue itself —
+// and publish each entry with a per-slot sequence word stored last, so a
+// reader can detect and skip slots that are mid-overwrite. Readers never
+// block writers and vice versa; a reader racing a wrap-around may observe a
+// fresh payload labeled with a stale sequence number, which is acceptable
+// for a debugging trace (each payload word is itself atomic, so the event
+// content is never torn).
+type eventRing struct {
+	mask   uint64
+	cursor atomic.Uint64
+	slots  []eventSlot
+}
+
+type eventSlot struct {
+	seq    atomic.Uint64 // published sequence + 1; 0 = never written
+	packed atomic.Uint64 // kind<<56 | nanos-since-epoch (56 bits ≈ 2.3 years)
+}
+
+const packShift = 56
+const packMask = (uint64(1) << packShift) - 1
+
+func newEventRing(capacity int) *eventRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	size := 1 << bits.Len(uint(capacity-1)) // round up to a power of two
+	return &eventRing{mask: uint64(size - 1), slots: make([]eventSlot, size)}
+}
+
+func (r *eventRing) add(kind uint8, nanos int64) {
+	if nanos < 0 {
+		nanos = 0
+	}
+	i := r.cursor.Add(1) - 1
+	s := &r.slots[i&r.mask]
+	s.seq.Store(0) // unpublish while the payload is replaced
+	s.packed.Store(uint64(kind)<<packShift | uint64(nanos)&packMask)
+	s.seq.Store(i + 1)
+}
+
+// snapshot collects the currently published events, oldest first.
+func (r *eventRing) snapshot(epoch int64) []Event {
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		s1 := s.seq.Load()
+		if s1 == 0 {
+			continue
+		}
+		p := s.packed.Load()
+		if s.seq.Load() != s1 {
+			continue // overwritten mid-read
+		}
+		out = append(out, Event{
+			Seq:  s1 - 1,
+			Kind: core.RingEvent(p >> packShift),
+			Time: time.Unix(0, epoch+int64(p&packMask)),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"lcrq/internal/core"
+	"lcrq/internal/telemetry"
 )
 
 // Reserved is the single uint64 value that cannot be stored in a raw Queue.
@@ -52,7 +53,8 @@ var ErrClosed = errors.New("lcrq: queue closed")
 // All methods are safe for concurrent use.
 type Queue struct {
 	q    *core.LCRQ
-	pool sync.Pool // spare *Handle for the convenience methods
+	tel  *telemetry.Sink // nil unless WithTelemetry / WithLatencySampling
+	pool sync.Pool       // spare *Handle for the convenience methods
 }
 
 // New returns an empty queue. With no options the queue uses rings of
@@ -63,7 +65,16 @@ func New(opts ...Option) *Queue {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	q := &Queue{q: core.NewLCRQ(cfg)}
+	q := &Queue{}
+	if cfg.Telemetry {
+		n := cfg.LatencySampleN
+		if n == 0 {
+			n = core.DefaultLatencySampleN
+		}
+		q.tel = telemetry.New(n, 0)
+		cfg.Tap = q.tel
+	}
+	q.q = core.NewLCRQ(cfg)
 	q.pool.New = func() any {
 		h := q.NewHandle()
 		// Pooled handles have no owner to Release them; if the pool drops
@@ -78,13 +89,18 @@ func New(opts ...Option) *Queue {
 // Handle is a per-goroutine operation context. A Handle must not be used
 // concurrently; create one per worker and Release it when the worker exits.
 type Handle struct {
-	h *core.Handle
-	q *Queue
+	h   *core.Handle
+	q   *Queue
+	tel *telemetry.Rec // nil unless the queue has telemetry enabled
 }
 
 // NewHandle returns a handle bound to q.
 func (q *Queue) NewHandle() *Handle {
-	return &Handle{h: q.q.NewHandle(), q: q}
+	h := &Handle{h: q.q.NewHandle(), q: q}
+	if q.tel != nil {
+		h.tel = q.tel.Register(&h.h.C)
+	}
+	return h
 }
 
 // SetCluster records the hardware cluster (processor package) the owning
@@ -94,11 +110,57 @@ func (h *Handle) SetCluster(cluster int) { h.h.Cluster = int64(cluster) }
 
 // Enqueue appends v to the queue and reports whether it was accepted: ok is
 // false only once the queue has been closed. v must not equal Reserved.
-func (h *Handle) Enqueue(v uint64) (ok bool) { return h.q.q.Enqueue(h.h, v) }
+//
+// Without telemetry the only addition over the core operation is the nil
+// check on h.tel — the same "dead branch on the fast path" shape as the
+// chaos layer's no-ops — so a telemetry-free queue pays nothing for the
+// feature's existence (BenchmarkEnqueueDequeue quantifies this).
+func (h *Handle) Enqueue(v uint64) (ok bool) {
+	if h.tel == nil {
+		return h.q.q.Enqueue(h.h, v)
+	}
+	return h.enqueueTel(v)
+}
+
+// enqueueTel is the telemetry-enabled enqueue: it times the operation when
+// the 1-in-N sampler arms and paces the handle's counter publication.
+func (h *Handle) enqueueTel(v uint64) bool {
+	r := h.tel
+	if r.Arm() {
+		t0 := time.Now()
+		ok := h.q.q.Enqueue(h.h, v)
+		r.Lat(telemetry.KindEnqueue, time.Since(t0))
+		r.Tick()
+		return ok
+	}
+	ok := h.q.q.Enqueue(h.h, v)
+	r.Tick()
+	return ok
+}
 
 // Dequeue removes and returns the oldest value; ok is false if the queue
 // was observed empty.
-func (h *Handle) Dequeue() (v uint64, ok bool) { return h.q.q.Dequeue(h.h) }
+func (h *Handle) Dequeue() (v uint64, ok bool) {
+	if h.tel == nil {
+		return h.q.q.Dequeue(h.h)
+	}
+	return h.dequeueTel()
+}
+
+// dequeueTel mirrors enqueueTel for the dequeue side.
+func (h *Handle) dequeueTel() (uint64, bool) {
+	r := h.tel
+	if r.Arm() {
+		t0 := time.Now()
+		v, ok := h.q.q.Dequeue(h.h)
+		r.Lat(telemetry.KindDequeue, time.Since(t0))
+		r.Tick()
+		return v, ok
+	}
+	v, ok := h.q.q.Dequeue(h.h)
+	r.Tick()
+	return v, ok
+}
 
 // DequeueWait blocks until a value is available and returns it. It fails
 // with ErrClosed once the queue has been closed and drained, or with
@@ -111,6 +173,22 @@ func (h *Handle) Dequeue() (v uint64, ok bool) { return h.q.q.Dequeue(h.h) }
 // either side of it: a waiter that has already returned ErrClosed does not
 // see items deposited by such stragglers (a later Dequeue or Drain does).
 func (h *Handle) DequeueWait(ctx context.Context) (uint64, error) {
+	if r := h.tel; r != nil && r.Arm() {
+		// The dequeue-wait series times the whole wait, sleeps included —
+		// it measures consumer stall, not queue-operation cost. The empty
+		// polls inside still feed the dequeue series as ordinary dequeues.
+		t0 := time.Now()
+		v, err := h.dequeueWait(ctx)
+		if err == nil {
+			r.Lat(telemetry.KindDequeueWait, time.Since(t0))
+		}
+		r.Tick()
+		return v, err
+	}
+	return h.dequeueWait(ctx)
+}
+
+func (h *Handle) dequeueWait(ctx context.Context) (uint64, error) {
 	cfg := h.q.q.Config()
 	backoff := cfg.WaitBackoffMin
 	var done <-chan struct{}
@@ -164,8 +242,16 @@ func (h *Handle) DequeueWait(ctx context.Context) (uint64, error) {
 func (h *Handle) Stats() Stats { return statsFromCounters(&h.h.C) }
 
 // Release returns the handle's resources (its hazard-pointer record) to the
-// queue. The handle must not be used afterwards.
-func (h *Handle) Release() { h.h.Release() }
+// queue. The handle must not be used afterwards. With telemetry enabled the
+// handle's final counter values are folded into the queue's retired totals,
+// so released workers keep contributing to Metrics.
+func (h *Handle) Release() {
+	if h.tel != nil {
+		h.q.tel.Unregister(h.tel)
+		h.tel = nil
+	}
+	h.h.Release()
+}
 
 // Enqueue appends v using a pooled handle and reports whether it was
 // accepted (false only after Close). v must not equal Reserved.

@@ -1,0 +1,139 @@
+package lcrq
+
+import (
+	"time"
+
+	"lcrq/internal/core"
+	"lcrq/internal/telemetry"
+)
+
+// LatencySummary summarizes one sampled latency series. Quantiles come from
+// a log-bucketed histogram with ≈1.6% bucket resolution; Max is exact over
+// the sampled operations.
+type LatencySummary struct {
+	Samples uint64
+	Mean    time.Duration
+	P50     time.Duration
+	P99     time.Duration
+	P999    time.Duration
+	Max     time.Duration
+}
+
+// Metrics is a live snapshot of the queue's telemetry. Counter aggregates
+// lag each handle by at most one publication interval (256 ops); gauges are
+// instantaneous but approximate under concurrency (see DESIGN.md §8).
+//
+// Without WithTelemetry, only the gauge fields (Depth, LiveRings,
+// RecyclerRings, Closed) are populated — they are maintained by the queue
+// core on its slow paths regardless of telemetry.
+type Metrics struct {
+	// Stats aggregates the operation counters of every handle the queue
+	// has issued, including released ones.
+	Stats Stats
+
+	// Handles is the number of live (unreleased) handles, pooled
+	// convenience handles included.
+	Handles int
+
+	// SampleN is the latency sampling stride (0 = latency sampling off).
+	SampleN int
+
+	// Depth approximates the number of queued items as the sum of per-ring
+	// tail−head index deltas. Exact only on a quiescent queue.
+	Depth int64
+
+	// LiveRings is the number of ring segments currently linked in the
+	// queue's list; RecyclerRings approximates the recycler pool's
+	// population (an upper bound — the GC may drain pooled rings).
+	LiveRings     int64
+	RecyclerRings int64
+
+	// Closed reports whether the queue has been closed to new enqueues.
+	Closed bool
+
+	// Per-operation sampled latency series. DequeueWait times whole waits
+	// (sleeps included) and only successful ones.
+	Enqueue     LatencySummary
+	Dequeue     LatencySummary
+	DequeueWait LatencySummary
+
+	// RingEvents counts ring-lifecycle transitions by event name
+	// (ring-close, ring-tantrum, ring-append, ring-recycle, ring-retire,
+	// queue-close).
+	RingEvents map[string]uint64
+
+	// Chaos counts fault-injection firings by point name; all zero unless
+	// the binary was built with -tags=chaos.
+	Chaos map[string]uint64
+}
+
+// Event is one entry of the ring-lifecycle debugging trace.
+type Event struct {
+	Seq  uint64    // global event sequence number, 0-based
+	Kind string    // event name, as in Metrics.RingEvents
+	Time time.Time // when the transition happened
+}
+
+func summarize(l telemetry.LatencySnapshot) LatencySummary {
+	s := LatencySummary{
+		Samples: l.Samples,
+		P50:     time.Duration(l.P50Ns),
+		P99:     time.Duration(l.P99Ns),
+		P999:    time.Duration(l.P999Ns),
+		Max:     time.Duration(l.MaxNs),
+	}
+	if l.Samples > 0 {
+		s.Mean = time.Duration(l.SumNs / int64(l.Samples))
+	}
+	return s
+}
+
+// Metrics returns a live snapshot of the queue's telemetry. It is safe to
+// call concurrently with all operations and never blocks them: counter
+// aggregation reads atomically published per-handle snapshots, and the
+// depth gauge walks the ring list with ordinary atomic loads.
+func (q *Queue) Metrics() Metrics {
+	var m Metrics
+	h := q.pool.Get().(*Handle)
+	m.Depth, _ = q.q.Depth(h.h)
+	q.pool.Put(h)
+	m.LiveRings = q.q.LiveRings()
+	m.RecyclerRings = q.q.RecyclerSize()
+	m.Closed = q.q.Closed()
+	if q.tel == nil {
+		return m
+	}
+	snap := q.tel.Snapshot()
+	m.Stats = statsFromCounters(&snap.Counters)
+	m.Handles = snap.Handles
+	m.SampleN = snap.SampleN
+	m.Enqueue = summarize(snap.Latency[telemetry.KindEnqueue])
+	m.Dequeue = summarize(snap.Latency[telemetry.KindDequeue])
+	m.DequeueWait = summarize(snap.Latency[telemetry.KindDequeueWait])
+	m.RingEvents = make(map[string]uint64, len(snap.EventCounts))
+	for ev, n := range snap.EventCounts {
+		m.RingEvents[core.RingEvent(ev).String()] = n
+	}
+	m.Chaos = make(map[string]uint64, len(snap.Chaos))
+	for _, c := range snap.Chaos {
+		m.Chaos[c.Point] = c.Fired
+	}
+	return m
+}
+
+// Events returns the queue's bounded ring-lifecycle trace, oldest first.
+// The trace records the most recent ring closes (full and tantrum),
+// appends, recycles, retires, and the Close transition; it is empty unless
+// the queue was built with WithTelemetry. Reading is lock-free and
+// best-effort: entries being overwritten concurrently are skipped.
+func (q *Queue) Events() []Event {
+	if q.tel == nil {
+		return nil
+	}
+	evs := q.tel.Events()
+	out := make([]Event, len(evs))
+	for i, e := range evs {
+		out[i] = Event{Seq: e.Seq, Kind: e.Kind.String(), Time: e.Time}
+	}
+	return out
+}

@@ -91,6 +91,34 @@ func WithStarvationLimit(attempts int) Option {
 	return func(c *core.Config) { c.StarvationLimit = attempts }
 }
 
+// WithTelemetry enables the live telemetry layer: Queue.Metrics aggregates
+// per-handle operation counters while the queue serves traffic, per-op
+// latency is sampled 1-in-1024 (see WithLatencySampling to tune), live
+// gauges track queue depth and ring lifecycle, and Queue.MetricsHandler /
+// Queue.PublishExpvar export everything with zero dependencies.
+//
+// Telemetry is off by default. When off, the only residue on the operation
+// fast path is a nil-pointer check; when on, the per-op cost is one
+// counter decrement plus an amortized counter publication every 256 ops —
+// the queue's own atomics remain untouched either way.
+func WithTelemetry() Option {
+	return func(c *core.Config) { c.Telemetry = true }
+}
+
+// WithLatencySampling enables telemetry (as WithTelemetry) and sets its
+// latency sampling stride: every n-th operation per handle is timed into
+// the log-bucketed Enqueue/Dequeue/DequeueWait histograms. n ≤ 0 disables
+// latency sampling while keeping counters, gauges, and the event trace.
+func WithLatencySampling(n int) Option {
+	return func(c *core.Config) {
+		c.Telemetry = true
+		if n <= 0 {
+			n = -1 // normalized to "sampling disabled"
+		}
+		c.LatencySampleN = n
+	}
+}
+
 // WithWaitBackoff bounds the exponential backoff DequeueWait uses while the
 // queue is empty: after a brief spin the waiter sleeps min, doubling up to
 // max. Zero values select the defaults (4 µs and 1 ms); max is raised to

@@ -3,38 +3,61 @@ package lcrq
 import "lcrq/internal/instrument"
 
 // Stats is a snapshot of per-handle operation statistics, mirroring the
-// quantities reported in Tables 2 and 3 of the paper.
+// quantities reported in Tables 2 and 3 of the paper. Every counter of the
+// internal instrumentation layer is represented, so a public snapshot
+// carries the same information the bench harness aggregates (a test
+// enforces the field coverage by reflection).
 type Stats struct {
 	Enqueues uint64 // completed enqueue operations
 	Dequeues uint64 // completed dequeue operations (including empty results)
 	Empty    uint64 // dequeues that found the queue empty
 
 	FetchAdds    uint64  // fetch-and-add instructions issued
+	Swaps        uint64  // swap (XCHG) instructions issued
+	TestAndSets  uint64  // test-and-set instructions issued (ring closes use one)
 	CASAttempts  uint64  // single-width CAS attempts
 	CASFailures  uint64  // single-width CAS attempts that failed
 	CAS2Attempts uint64  // double-width CAS attempts
 	CAS2Failures uint64  // double-width CAS attempts that failed
 	AtomicsPerOp float64 // average atomic instructions per operation
 
+	CellRetries       uint64 // extra head/tail F&As needed beyond the first
+	EmptyTransitions  uint64 // empty transitions performed
+	UnsafeTransitions uint64 // unsafe transitions performed
+	SpinWaits         uint64 // bounded waits for a matching enqueuer
+
 	RingCloses   uint64 // ring segments this handle closed
 	RingAppends  uint64 // ring segments this handle appended
 	RingRecycles uint64 // appended segments satisfied from the recycler
+
+	CombinerRuns     uint64 // combining queues: times this thread combined
+	Combined         uint64 // combining queues: operations applied while combining
+	LockAcquisitions uint64 // lock acquisitions (blocking queues)
 }
 
 func statsFromCounters(c *instrument.Counters) Stats {
 	return Stats{
-		Enqueues:     c.Enqueues,
-		Dequeues:     c.Dequeues,
-		Empty:        c.Empty,
-		FetchAdds:    c.FAA,
-		CASAttempts:  c.CAS,
-		CASFailures:  c.CASFail,
-		CAS2Attempts: c.CAS2,
-		CAS2Failures: c.CAS2Fail,
-		AtomicsPerOp: c.AtomicsPerOp(),
-		RingCloses:   c.Closes,
-		RingAppends:  c.Appends,
-		RingRecycles: c.Recycled,
+		Enqueues:          c.Enqueues,
+		Dequeues:          c.Dequeues,
+		Empty:             c.Empty,
+		FetchAdds:         c.FAA,
+		Swaps:             c.SWAP,
+		TestAndSets:       c.TAS,
+		CASAttempts:       c.CAS,
+		CASFailures:       c.CASFail,
+		CAS2Attempts:      c.CAS2,
+		CAS2Failures:      c.CAS2Fail,
+		AtomicsPerOp:      c.AtomicsPerOp(),
+		CellRetries:       c.CellRetries,
+		EmptyTransitions:  c.EmptyTrans,
+		UnsafeTransitions: c.UnsafeTrans,
+		SpinWaits:         c.SpinWaits,
+		RingCloses:        c.Closes,
+		RingAppends:       c.Appends,
+		RingRecycles:      c.Recycled,
+		CombinerRuns:      c.CombinerRuns,
+		Combined:          c.Combined,
+		LockAcquisitions:  c.LockAcq,
 	}
 }
 
@@ -48,17 +71,26 @@ func (s Stats) Add(o Stats) Stats {
 			o.AtomicsPerOp*float64(o.Enqueues+o.Dequeues)) / float64(ops)
 	}
 	return Stats{
-		Enqueues:     s.Enqueues + o.Enqueues,
-		Dequeues:     s.Dequeues + o.Dequeues,
-		Empty:        s.Empty + o.Empty,
-		FetchAdds:    s.FetchAdds + o.FetchAdds,
-		CASAttempts:  s.CASAttempts + o.CASAttempts,
-		CASFailures:  s.CASFailures + o.CASFailures,
-		CAS2Attempts: s.CAS2Attempts + o.CAS2Attempts,
-		CAS2Failures: s.CAS2Failures + o.CAS2Failures,
-		AtomicsPerOp: apo,
-		RingCloses:   s.RingCloses + o.RingCloses,
-		RingAppends:  s.RingAppends + o.RingAppends,
-		RingRecycles: s.RingRecycles + o.RingRecycles,
+		Enqueues:          s.Enqueues + o.Enqueues,
+		Dequeues:          s.Dequeues + o.Dequeues,
+		Empty:             s.Empty + o.Empty,
+		FetchAdds:         s.FetchAdds + o.FetchAdds,
+		Swaps:             s.Swaps + o.Swaps,
+		TestAndSets:       s.TestAndSets + o.TestAndSets,
+		CASAttempts:       s.CASAttempts + o.CASAttempts,
+		CASFailures:       s.CASFailures + o.CASFailures,
+		CAS2Attempts:      s.CAS2Attempts + o.CAS2Attempts,
+		CAS2Failures:      s.CAS2Failures + o.CAS2Failures,
+		AtomicsPerOp:      apo,
+		CellRetries:       s.CellRetries + o.CellRetries,
+		EmptyTransitions:  s.EmptyTransitions + o.EmptyTransitions,
+		UnsafeTransitions: s.UnsafeTransitions + o.UnsafeTransitions,
+		SpinWaits:         s.SpinWaits + o.SpinWaits,
+		RingCloses:        s.RingCloses + o.RingCloses,
+		RingAppends:       s.RingAppends + o.RingAppends,
+		RingRecycles:      s.RingRecycles + o.RingRecycles,
+		CombinerRuns:      s.CombinerRuns + o.CombinerRuns,
+		Combined:          s.Combined + o.Combined,
+		LockAcquisitions:  s.LockAcquisitions + o.LockAcquisitions,
 	}
 }

@@ -1,0 +1,73 @@
+package lcrq
+
+import (
+	"reflect"
+	"testing"
+
+	"lcrq/internal/instrument"
+)
+
+// TestStatsCoversAllCounters fills every instrument.Counters field with a
+// distinct value and checks that each value surfaces in the public Stats
+// snapshot, so adding a counter without plumbing it through
+// statsFromCounters fails here instead of silently dropping data.
+func TestStatsCoversAllCounters(t *testing.T) {
+	c := &instrument.Counters{}
+	cv := reflect.ValueOf(c).Elem()
+	want := make(map[uint64]string, cv.NumField())
+	for i := 0; i < cv.NumField(); i++ {
+		v := uint64(1000 + 7*i) // distinct, nonzero
+		cv.Field(i).SetUint(v)
+		want[v] = cv.Type().Field(i).Name
+	}
+
+	s := statsFromCounters(c)
+	sv := reflect.ValueOf(s)
+	got := make(map[uint64]bool)
+	uintFields := 0
+	for i := 0; i < sv.NumField(); i++ {
+		if sv.Field(i).Kind() != reflect.Uint64 {
+			continue // AtomicsPerOp is derived, not a counter copy
+		}
+		uintFields++
+		got[sv.Field(i).Uint()] = true
+	}
+	for v, name := range want {
+		if !got[v] {
+			t.Errorf("Counters.%s (=%d) is not represented in Stats", name, v)
+		}
+	}
+	if uintFields != len(want) {
+		t.Errorf("Stats has %d uint64 fields for %d counters; fields must map 1:1",
+			uintFields, len(want))
+	}
+}
+
+// TestStatsAddCoversAllFields sums two reflectively filled Stats and checks
+// every uint64 field was accumulated, so Add cannot silently forget a newly
+// added field.
+func TestStatsAddCoversAllFields(t *testing.T) {
+	mk := func(base uint64) Stats {
+		var s Stats
+		v := reflect.ValueOf(&s).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).Kind() == reflect.Uint64 {
+				v.Field(i).SetUint(base + uint64(i))
+			}
+		}
+		return s
+	}
+	a, b := mk(100), mk(10000)
+	sum := a.Add(b)
+	v := reflect.ValueOf(sum)
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).Kind() != reflect.Uint64 {
+			continue
+		}
+		want := 100 + 10000 + 2*uint64(i)
+		if got := v.Field(i).Uint(); got != want {
+			t.Errorf("Add dropped Stats.%s: got %d, want %d",
+				v.Type().Field(i).Name, got, want)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package lcrq
 
 import (
 	"context"
+	"net/http"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -143,6 +144,24 @@ func (h *TypedHandle[T]) DequeueWait(ctx context.Context) (v T, err error) {
 	h.free.Enqueue(idx)
 	return v, nil
 }
+
+// Metrics returns a live telemetry snapshot of the underlying index queue,
+// which carries every queued value; see Queue.Metrics. The private free-list
+// queue is not included. Requires the queue to be built with WithTelemetry
+// for counter and latency series.
+func (t *Typed[T]) Metrics() Metrics { return t.main.Metrics() }
+
+// Events returns the ring-lifecycle trace of the underlying index queue;
+// see Queue.Events.
+func (t *Typed[T]) Events() []Event { return t.main.Events() }
+
+// MetricsHandler serves the underlying index queue's telemetry in
+// Prometheus text format; see Queue.MetricsHandler.
+func (t *Typed[T]) MetricsHandler() http.Handler { return t.main.MetricsHandler() }
+
+// PublishExpvar publishes the underlying index queue's Metrics under name;
+// see Queue.PublishExpvar.
+func (t *Typed[T]) PublishExpvar(name string) { t.main.PublishExpvar(name) }
 
 // Close permanently closes the queue to new enqueues; dequeues drain the
 // remaining items. Idempotent and safe for concurrent use.
