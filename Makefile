@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race purego chaos fuzz bench examples reproduce check clean
+.PHONY: all build vet test race purego chaos soak fuzz bench examples reproduce check clean
 
 all: check
 
@@ -28,12 +28,20 @@ purego:
 chaos:
 	$(GO) test -race -tags=chaos ./...
 
+# Timed governance soak: bounded epoch queue + stall recovery + watchdog
+# under every injection point and the race detector, budgets asserted
+# continuously. Override the duration with SOAK_SECONDS.
+SOAK_SECONDS ?= 60
+soak:
+	LCRQ_SOAK_SECONDS=$(SOAK_SECONDS) $(GO) test -race -tags=chaos -run TestSoak -v -timeout=10m .
+
 # Short fuzzing pass over the fuzz targets.
 fuzz:
 	$(GO) test -fuzz FuzzQueueModel -fuzztime 30s .
 	$(GO) test -fuzz FuzzTypedModel -fuzztime 30s .
 	$(GO) test -fuzz FuzzPacked32Model -fuzztime 30s .
 	$(GO) test -fuzz FuzzCloseDrain -fuzztime 30s .
+	$(GO) test -fuzz FuzzBoundedCapacity -fuzztime 30s .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

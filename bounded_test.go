@@ -1,0 +1,273 @@
+package lcrq
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTryEnqueueBackpressure exercises the non-blocking bounded contract at
+// the public surface: accept up to capacity, ErrFull at the bound, writable
+// again after a dequeue, ErrClosed after close.
+func TestTryEnqueueBackpressure(t *testing.T) {
+	q := New(WithCapacity(3))
+	h := q.NewHandle()
+	defer h.Release()
+	for i := uint64(1); i <= 3; i++ {
+		if err := h.TryEnqueue(i); err != nil {
+			t.Fatalf("TryEnqueue(%d) = %v", i, err)
+		}
+	}
+	if err := h.TryEnqueue(4); !errors.Is(err, ErrFull) {
+		t.Fatalf("TryEnqueue at capacity = %v, want ErrFull", err)
+	}
+	m := q.Metrics()
+	if m.Capacity != 3 || m.Items != 3 || m.CapacityRejects == 0 {
+		t.Fatalf("Metrics = {Capacity:%d Items:%d CapacityRejects:%d}, want {3 3 >0}",
+			m.Capacity, m.Items, m.CapacityRejects)
+	}
+	if v, ok := h.Dequeue(); !ok || v != 1 {
+		t.Fatalf("Dequeue = (%d,%v), want (1,true)", v, ok)
+	}
+	if err := h.TryEnqueue(4); err != nil {
+		t.Fatalf("TryEnqueue after freeing a slot = %v", err)
+	}
+	q.Close()
+	if err := h.TryEnqueue(5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TryEnqueue after close = %v, want ErrClosed", err)
+	}
+	// The pooled variant agrees.
+	if err := q.TryEnqueue(5); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Queue.TryEnqueue after close = %v, want ErrClosed", err)
+	}
+}
+
+// TestEnqueueWaitUnblocks: a producer blocked on a full queue must complete
+// as soon as a consumer frees a slot, and the released value must preserve
+// FIFO order relative to the items already in flight.
+func TestEnqueueWaitUnblocks(t *testing.T) {
+	q := New(WithCapacity(1), WithWaitBackoff(time.Microsecond, 50*time.Microsecond))
+	h := q.NewHandle()
+	defer h.Release()
+	if err := h.TryEnqueue(1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		ph := q.NewHandle()
+		defer ph.Release()
+		done <- ph.EnqueueWait(context.Background(), 2)
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("EnqueueWait returned %v on a full queue before a slot freed", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, ok := h.Dequeue(); !ok || v != 1 {
+		t.Fatalf("Dequeue = (%d,%v), want (1,true)", v, ok)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("EnqueueWait after slot freed = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("EnqueueWait still blocked after a slot freed")
+	}
+	if v, ok := h.Dequeue(); !ok || v != 2 {
+		t.Fatalf("Dequeue = (%d,%v), want (2,true)", v, ok)
+	}
+}
+
+// TestEnqueueWaitContextCancel: cancellation must surface the context error
+// without enqueueing, and close must surface ErrClosed to blocked producers.
+func TestEnqueueWaitContextCancel(t *testing.T) {
+	q := New(WithCapacity(1))
+	h := q.NewHandle()
+	defer h.Release()
+	if err := h.TryEnqueue(1); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := h.EnqueueWait(ctx, 2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("EnqueueWait(expired ctx) = %v, want DeadlineExceeded", err)
+	}
+	if got := q.Metrics().Items; got != 1 {
+		t.Fatalf("cancelled EnqueueWait leaked an item: Items = %d, want 1", got)
+	}
+
+	// A producer blocked at the capacity gate must observe Close.
+	done := make(chan error, 1)
+	go func() {
+		ph := q.NewHandle()
+		defer ph.Release()
+		done <- ph.EnqueueWait(context.Background(), 3)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	q.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("EnqueueWait across Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("EnqueueWait did not observe Close")
+	}
+}
+
+// TestWatchdogCapacityStall drives the watchdog through a full
+// detect-and-recover cycle: a queue pinned at capacity for consecutive
+// checks must be flagged capacity-stall, and draining it must return the
+// verdict to ok.
+func TestWatchdogCapacityStall(t *testing.T) {
+	q := New(WithCapacity(2), WithWatchdog(2*time.Millisecond))
+	defer q.Close()
+	h := q.NewHandle()
+	defer h.Release()
+	h.TryEnqueue(1)
+	h.TryEnqueue(2)
+
+	// Keep hammering the full queue so every watchdog tick sees rejects.
+	deadline := time.Now().Add(5 * time.Second)
+	for q.Health().Verdict != "capacity-stall" {
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog never flagged capacity-stall; health = %+v", q.Health())
+		}
+		h.TryEnqueue(3)
+		time.Sleep(100 * time.Microsecond)
+	}
+	hl := q.Health()
+	if hl.OK || hl.Checks == 0 {
+		t.Fatalf("capacity-stall health inconsistent: %+v", hl)
+	}
+	if q.Metrics().Health.Verdict != hl.Verdict {
+		t.Fatal("Metrics().Health disagrees with Health()")
+	}
+
+	// Recovery: drain and let traffic flow again.
+	h.Dequeue()
+	h.Dequeue()
+	for q.Health().Verdict != "ok" {
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog stuck after recovery; health = %+v", q.Health())
+		}
+		h.TryEnqueue(4)
+		h.Dequeue()
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestWatchdogDisabled: without WithWatchdog the health endpoint reports a
+// benign "disabled" verdict rather than fabricating checks.
+func TestWatchdogDisabled(t *testing.T) {
+	q := New()
+	defer q.Close()
+	h := q.Health()
+	if !h.OK || h.Verdict != "disabled" || h.Checks != 0 {
+		t.Fatalf("Health with no watchdog = %+v, want OK/disabled/0 checks", h)
+	}
+}
+
+// TestTypedBounded: the typed facade forwards the bounded contract — and its
+// internal free list must remain unbounded so slot recycling is unaffected.
+func TestTypedBounded(t *testing.T) {
+	q := NewTyped[string](WithCapacity(2), WithWaitBackoff(time.Microsecond, 50*time.Microsecond))
+	h := q.NewHandle()
+	defer h.Release()
+	if err := h.TryEnqueue("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.TryEnqueue("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.TryEnqueue("c"); !errors.Is(err, ErrFull) {
+		t.Fatalf("typed TryEnqueue at capacity = %v, want ErrFull", err)
+	}
+	if ok := h.Enqueue("c"); ok {
+		t.Fatal("typed Enqueue reported success at capacity")
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ph := q.NewHandle()
+		defer ph.Release()
+		if err := ph.EnqueueWait(context.Background(), "c"); err != nil {
+			t.Errorf("typed EnqueueWait = %v", err)
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	for _, want := range []string{"a", "b"} {
+		if v, ok := h.Dequeue(); !ok || v != want {
+			t.Fatalf("typed Dequeue = (%q,%v), want (%q,true)", v, ok, want)
+		}
+	}
+	wg.Wait()
+	if v, ok := h.Dequeue(); !ok || v != "c" {
+		t.Fatalf("typed Dequeue = (%q,%v), want (\"c\",true)", v, ok)
+	}
+	// Slot recycling survives far more than Capacity round-trips: the free
+	// list itself must not be capacity-gated.
+	for i := 0; i < 100; i++ {
+		if err := h.TryEnqueue("x"); err != nil {
+			t.Fatalf("round-trip %d: %v", i, err)
+		}
+		if _, ok := h.Dequeue(); !ok {
+			t.Fatalf("round-trip %d: dequeue failed", i)
+		}
+	}
+	if h := q.Health(); h.Verdict != "disabled" {
+		t.Fatalf("typed Health = %+v", h)
+	}
+}
+
+// TestGovernanceOffOverhead guards the unbounded fast path: with no
+// capacity, ring budget, or watchdog configured, the public wrapper must
+// stay within noise of the raw core loop (same guard style as
+// TestTelemetryOffOverhead). Opt-in via LCRQ_GOVERNANCE_BENCH=1 since
+// timing checks are too flaky for CI's shared runners.
+func TestGovernanceOffOverhead(t *testing.T) {
+	if os.Getenv("LCRQ_GOVERNANCE_BENCH") == "" {
+		t.Skip("set LCRQ_GOVERNANCE_BENCH=1 to run the overhead smoke check")
+	}
+	q := New(WithRingSize(1 << 12))
+	if m := q.Metrics(); m.Capacity != 0 || m.MaxRings != 0 {
+		t.Fatal("default queue unexpectedly bounded")
+	}
+	h := q.NewHandle()
+	defer h.Release()
+
+	direct := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.q.Enqueue(h.h, uint64(i)|1<<62)
+			q.q.Dequeue(h.h)
+		}
+	}
+	wrapped := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Enqueue(uint64(i) | 1<<62)
+			h.Dequeue()
+		}
+	}
+	best := func(f func(*testing.B)) float64 {
+		ns := 1e18
+		for i := 0; i < 5; i++ {
+			r := testing.Benchmark(f)
+			if v := float64(r.NsPerOp()); v < ns {
+				ns = v
+			}
+		}
+		return ns
+	}
+	d, w := best(direct), best(wrapped)
+	t.Logf("direct %.1f ns/op, wrapped (governance off) %.1f ns/op (%+.1f%%)",
+		d, w, (w/d-1)*100)
+	if w > d*1.25 {
+		t.Fatalf("governance-off wrapper overhead too high: direct %.1f ns/op vs wrapped %.1f ns/op", d, w)
+	}
+}

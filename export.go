@@ -53,6 +53,18 @@ func writeProm(b *strings.Builder, m Metrics) {
 	gauge("lcrq_closed", "1 once the queue has been closed to new enqueues.", closed)
 	gauge("lcrq_handles", "Live per-goroutine handles.", int64(m.Handles))
 	gauge("lcrq_latency_sample_stride", "Latency sampling stride N (0 = sampling off).", int64(m.SampleN))
+	gauge("lcrq_capacity", "Configured item bound (0 = unbounded).", m.Capacity)
+	gauge("lcrq_max_rings", "Configured ring-segment budget (0 = unbounded).", int64(m.MaxRings))
+	gauge("lcrq_items", "Exact in-flight items on a capacity-bounded queue (0 on unbounded).", m.Items)
+	counter("lcrq_capacity_rejects_total", "Enqueue attempts rejected by the item or ring budget.", m.CapacityRejects)
+	counter("lcrq_epoch_stalls_total", "Reclamation participants declared stalled-by-policy.", m.EpochStalls)
+	counter("lcrq_orphan_recoveries_total", "Leaked handles recovered by the orphan finalizer.", m.OrphanRecoveries)
+	wdOK := int64(0)
+	if m.Health.OK {
+		wdOK = 1
+	}
+	fmt.Fprintf(b, "# HELP lcrq_watchdog_ok 1 while the watchdog's latest verdict is healthy (also 1 when disabled).\n# TYPE lcrq_watchdog_ok gauge\nlcrq_watchdog_ok{verdict=%q} %d\n", m.Health.Verdict, wdOK)
+	counter("lcrq_watchdog_checks_total", "Watchdog inspection ticks completed.", m.Health.Checks)
 
 	s := m.Stats
 	counter("lcrq_enqueues_total", "Completed enqueue operations.", s.Enqueues)
@@ -94,6 +106,7 @@ func writeProm(b *strings.Builder, m Metrics) {
 		{"enqueue", m.Enqueue},
 		{"dequeue", m.Dequeue},
 		{"dequeue_wait", m.DequeueWait},
+		{"enqueue_wait", m.EnqueueWait},
 	} {
 		for _, qv := range []struct {
 			q string

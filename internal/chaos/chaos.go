@@ -67,6 +67,19 @@ const (
 	// the pinned local epoch, and at the head of epoch advancement,
 	// simulating stalled pinned threads.
 	EpochWindow
+	// CapacityGate yields inside the bounded-mode rejection window, between
+	// a capacity (item or ring budget) rejection and its report to the
+	// caller — the window an EnqueueWait retry races against dequeuers
+	// freeing budget.
+	CapacityGate
+	// EnqWait yields inside the EnqueueWait backoff loop, between a full
+	// rejection and the next retry, perturbing the wait/wake schedule of
+	// blocked producers.
+	EnqWait
+	// StallScan yields at the epoch stall-declaration window: the moment a
+	// lagging pinned record is declared stalled-by-policy and excluded from
+	// blocking advancement, just before the forced advance proceeds.
+	StallScan
 
 	// NumPoints is the number of injection points; it is not itself a
 	// point.
@@ -83,6 +96,9 @@ var pointNames = [NumPoints]string{
 	Handoff:      "handoff",
 	HazardWindow: "hazard-window",
 	EpochWindow:  "epoch-window",
+	CapacityGate: "capacity-gate",
+	EnqWait:      "enq-wait",
+	StallScan:    "stall-scan",
 }
 
 // String returns the point's stable name, as used in docs and test output.

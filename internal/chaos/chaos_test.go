@@ -15,6 +15,9 @@ func TestPointNames(t *testing.T) {
 		Handoff:      "handoff",
 		HazardWindow: "hazard-window",
 		EpochWindow:  "epoch-window",
+		CapacityGate: "capacity-gate",
+		EnqWait:      "enq-wait",
+		StallScan:    "stall-scan",
 	}
 	if len(want) != int(NumPoints) {
 		t.Fatalf("test covers %d points, NumPoints = %d", len(want), NumPoints)

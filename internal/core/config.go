@@ -23,6 +23,21 @@ const (
 	// DefaultLatencySampleN is the default 1-in-N latency sampling stride
 	// when telemetry is enabled without an explicit rate.
 	DefaultLatencySampleN = 1024
+	// DefaultStallAge is the age past which a pinned epoch record lagging
+	// the global epoch is declared stalled-by-policy, when stall recovery
+	// is enabled without an explicit age. Bounded epoch-mode queues enable
+	// it automatically: a bounded queue that cannot reclaim is a queue that
+	// cannot accept.
+	DefaultStallAge = 10 * time.Millisecond
+	// DefaultWatchdogInterval is the watchdog check period when enabled
+	// without an explicit interval.
+	DefaultWatchdogInterval = 100 * time.Millisecond
+	// MinMaxRings is the smallest enforceable ring budget. The terminal
+	// ring of the chain is never retired in place (a drained closed ring is
+	// only unlinked once a successor exists), so a budget of 1 would wedge
+	// permanently after the first ring close; 2 always leaves room for the
+	// successor that lets the head ring retire.
+	MinMaxRings = 2
 )
 
 // Reclamation selects how retired CRQ rings are protected and reclaimed.
@@ -134,9 +149,46 @@ type Config struct {
 	// WaitBackoffMin and WaitBackoffMax bound the exponential backoff the
 	// public DequeueWait uses between empty polls: after a brief spin the
 	// waiter sleeps WaitBackoffMin, doubling up to WaitBackoffMax. Zero
-	// values select the defaults above.
+	// values select the defaults above. EnqueueWait shares the bounds.
 	WaitBackoffMin time.Duration
 	WaitBackoffMax time.Duration
+
+	// Capacity bounds the number of items in flight: an enqueue that would
+	// push the exact item account past Capacity is rejected (EnqFull)
+	// instead of growing the ring chain. 0 leaves the queue unbounded.
+	// Bounded mode maintains the account with one atomic add per operation;
+	// unbounded queues skip it entirely.
+	Capacity int64
+
+	// MaxRings bounds the number of ring segments linked in the queue's
+	// list: an enqueue that would need to append past the budget is
+	// rejected (EnqFull). 0 derives the budget from Capacity when that is
+	// set (⌈Capacity/R⌉+1, covering one drained-but-unretired head ring)
+	// and otherwise leaves the chain unbounded. Values below MinMaxRings
+	// are raised to it — a budget of 1 would wedge on the first ring close.
+	MaxRings int
+
+	// ReclamationBatch is the hazard-pointer scan threshold: a thread's
+	// retired list is scanned once it holds ReclamationBatch × (number of
+	// participating records) entries. Smaller values tighten the
+	// retired-memory bound at the cost of more frequent O(H) scans. 0
+	// selects the hazard package default (8).
+	ReclamationBatch int
+
+	// StallAge is the epoch-reclamation stall threshold: a pinned record
+	// observed lagging the global epoch for longer than StallAge is
+	// declared stalled-by-policy, excluded from blocking advancement, and
+	// reported via the Tap (EvEpochStall); while any record is stalled,
+	// reclaimed rings are dropped to the garbage collector instead of
+	// recycled, since the stalled thread may still hold them. 0 disables
+	// stall detection except in bounded epoch mode, where DefaultStallAge
+	// is applied; negative disables it unconditionally.
+	StallAge time.Duration
+
+	// Watchdog is the health-check interval of the public layer's
+	// background watchdog; 0 disables it. Consumed above core (like
+	// Telemetry); the core only carries the setting.
+	Watchdog time.Duration
 }
 
 // normalized returns c with defaults applied and bounds enforced.
@@ -187,7 +239,39 @@ func (c Config) normalized() Config {
 		c.NoHazard = true
 		c.NoRecycle = true
 	}
+	if c.Capacity < 0 {
+		c.Capacity = 0
+	}
+	if c.MaxRings < 0 {
+		c.MaxRings = 0
+	}
+	if c.Capacity > 0 && c.MaxRings == 0 {
+		r := int64(1) << c.RingOrder
+		c.MaxRings = int((c.Capacity+r-1)/r) + 1
+	}
+	if c.MaxRings > 0 && c.MaxRings < MinMaxRings {
+		c.MaxRings = MinMaxRings
+	}
+	if c.ReclamationBatch < 0 {
+		c.ReclamationBatch = 0
+	}
+	if c.StallAge == 0 && c.Reclamation == ReclaimEpoch && c.MaxRings > 0 {
+		c.StallAge = DefaultStallAge
+	}
+	if c.StallAge < 0 {
+		c.StallAge = 0
+	}
+	if c.Watchdog < 0 {
+		c.Watchdog = 0
+	}
 	return c
+}
+
+// Bounded reports whether the configuration enforces an item or ring
+// budget.
+func (c Config) Bounded() bool {
+	n := c.normalized()
+	return n.Capacity > 0 || n.MaxRings > 0
 }
 
 // RingSize returns the number of cells R implied by the configuration.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"runtime"
+
 	"lcrq/internal/epoch"
 	"lcrq/internal/hazard"
 	"lcrq/internal/instrument"
@@ -31,7 +33,55 @@ type Handle struct {
 	hp       *hazard.Record[CRQ] // non-nil in ReclaimHazard mode
 	ep       *epoch.Record[CRQ]  // non-nil in ReclaimEpoch mode
 	owner    *LCRQ
+	guard    *recoveryGuard // orphan-recovery finalizer anchor; nil in GC mode
 	released bool
+}
+
+// recoveryGuard recovers the reclamation record of a handle that is leaked
+// instead of Released: a goroutine that exits (or panics away) without
+// Release would otherwise leave a hazard record permanently active — or,
+// worse, an epoch record permanently pinned, freezing reclamation for the
+// whole queue.
+//
+// The guard deliberately holds the record and queue pointers itself rather
+// than the Handle: a finalizer's closure is a GC root, so a finalizer that
+// referenced the Handle would keep the Handle reachable forever and never
+// run. The guard is only reachable *from* the Handle, so once the Handle is
+// garbage the guard's finalizer fires and returns the record. Release
+// disarms the finalizer first, making the orderly path free of it.
+type recoveryGuard struct {
+	hp *hazard.Record[CRQ]
+	ep *epoch.Record[CRQ]
+	q  *LCRQ
+}
+
+// recover is the guard's finalizer: return the orphaned record and account
+// the leak. The record cannot be in concurrent use — the finalizer only
+// runs once the owning Handle is unreachable, and Handles are
+// single-threaded by contract.
+func (g *recoveryGuard) recover() {
+	if g.ep != nil {
+		// A leaked handle may have died pinned (goroutine killed by panic
+		// between Pin and Unpin is impossible — exit() is deferred — but a
+		// handle abandoned mid-API-misuse may be). Unpin before Release so
+		// the record pool never receives a pinned record.
+		if g.ep.Pinned() {
+			g.ep.Unpin()
+		}
+		g.ep.Release()
+	}
+	if g.hp != nil {
+		g.hp.Release()
+	}
+	g.q.orphans.Add(1)
+	g.q.tap(EvOrphanRecover)
+}
+
+// armRecovery attaches the orphan-recovery finalizer to h.
+func (h *Handle) armRecovery(q *LCRQ) {
+	g := &recoveryGuard{hp: h.hp, ep: h.ep, q: q}
+	h.guard = g
+	runtime.SetFinalizer(g, (*recoveryGuard).recover)
 }
 
 // Release returns the handle's reclamation record to its queue's domain.
@@ -43,6 +93,10 @@ func (h *Handle) Release() {
 		panic("core: Handle released twice; a released handle must not be reused")
 	}
 	h.released = true
+	if h.guard != nil {
+		runtime.SetFinalizer(h.guard, nil)
+		h.guard = nil
+	}
 	if h.hp != nil {
 		h.hp.Release()
 		h.hp = nil

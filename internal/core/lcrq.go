@@ -43,6 +43,19 @@ type LCRQ struct {
 	rings   atomic.Int64
 	recPuts atomic.Uint64
 	recGets atomic.Uint64
+
+	// Bounded-mode accounting. items is the exact number of accepted,
+	// not-yet-dequeued values (maintained only when cfg.Capacity > 0: one
+	// atomic add per operation); rejects counts capacity rejections; full
+	// tracks whether the queue is in a "full episode" so the Tap sees one
+	// EvCapacityReject per episode rather than one per rejected poll.
+	items   atomic.Int64
+	rejects atomic.Uint64
+	full    atomic.Bool
+
+	// orphans counts handles recovered by the leak finalizer (see
+	// recoveryGuard); stalls are counted by the epoch domain.
+	orphans atomic.Uint64
 }
 
 // NewLCRQ returns an empty queue configured by cfg.
@@ -52,8 +65,14 @@ func NewLCRQ(cfg Config) *LCRQ {
 	switch cfg.Reclamation {
 	case ReclaimHazard:
 		q.dom = hazard.New[CRQ](hpSlots)
+		if cfg.ReclamationBatch > 0 {
+			q.dom.SetScanThreshold(cfg.ReclamationBatch)
+		}
 	case ReclaimEpoch:
 		q.edom = epoch.New[CRQ]()
+		if cfg.StallAge > 0 {
+			q.edom.SetStallPolicy(cfg.StallAge, func() { q.tap(EvEpochStall) })
+		}
 	}
 	first := NewCRQ(cfg)
 	q.head.Store(first)
@@ -74,16 +93,22 @@ func (q *LCRQ) tap(ev RingEvent) {
 func (q *LCRQ) Config() Config { return q.cfg }
 
 // NewHandle returns a per-thread handle bound to this queue. The caller
-// must Release it when the thread stops using the queue.
+// must Release it when the thread stops using the queue; a handle that is
+// leaked instead (its goroutine exits without Release) has its reclamation
+// record recovered by a finalizer so it cannot freeze recycling forever
+// (see recoveryGuard).
 func (q *LCRQ) NewHandle() *Handle {
+	var h *Handle
 	switch q.cfg.Reclamation {
 	case ReclaimEpoch:
-		return &Handle{ep: q.edom.Acquire(), owner: q}
+		h = &Handle{ep: q.edom.Acquire(), owner: q}
 	case ReclaimGC:
-		return &Handle{owner: q}
+		return &Handle{owner: q} // no reclamation record: nothing to leak
 	default:
-		return &Handle{hp: q.dom.Acquire(), owner: q}
+		h = &Handle{hp: q.dom.Acquire(), owner: q}
 	}
+	h.armRecovery(q)
+	return h
 }
 
 // enter begins an operation's reclamation-protected region; the returned
@@ -105,8 +130,18 @@ func (h *Handle) exit() {
 // operation-wide pin already protects everything reachable, and in GC mode
 // the garbage collector does, so a plain load suffices for both; only
 // hazard mode needs the publish-and-revalidate dance.
+//
+// A handle with neither record on a queue that runs a reclamation scheme is
+// a detached core.NewHandle() being misused: its operations would silently
+// run unprotected, letting rings be recycled under it. That is a
+// use-after-recycle waiting to corrupt the queue, so it fails fast here —
+// the check costs nothing in the default hazard mode (the h.hp == nil
+// branch is not taken) and two nil checks in GC mode.
 func (q *LCRQ) protect(h *Handle, slot int, src *atomic.Pointer[CRQ]) *CRQ {
 	if h.hp == nil {
+		if h.ep == nil && q.cfg.Reclamation != ReclaimGC {
+			panic("core: detached NewHandle() used with a hazard/epoch-mode LCRQ; obtain handles from (*LCRQ).NewHandle")
+		}
 		return src.Load()
 	}
 	return h.hp.ProtectPtr(slot, src)
@@ -216,13 +251,135 @@ func (q *LCRQ) Depth(h *Handle) (depth int64, rings int) {
 	return depth, rings
 }
 
-// Enqueue appends v to the queue and reports whether it was accepted; it
-// returns false only after Close. v must not be Bottom (use the public
-// typed facade for unrestricted values).
+// EnqStatus is the outcome of a bounded-aware enqueue attempt.
+type EnqStatus uint8
+
+const (
+	// EnqOK: the value was appended.
+	EnqOK EnqStatus = iota
+	// EnqFull: a bounded queue rejected the value for lack of item or ring
+	// budget. The value was not enqueued; the caller may retry (the public
+	// EnqueueWait does, with bounded backoff).
+	EnqFull
+	// EnqClosed: the queue has been closed to new enqueues.
+	EnqClosed
+)
+
+// Enqueue appends v to the queue and reports whether it was accepted. On an
+// unbounded queue it returns false only after Close; on a bounded queue a
+// capacity rejection also reports false (use EnqueueStatus to distinguish).
+// v must not be Bottom (use the public typed facade for unrestricted
+// values).
 func (q *LCRQ) Enqueue(h *Handle, v uint64) bool {
+	return q.EnqueueStatus(h, v) == EnqOK
+}
+
+// EnqueueStatus appends v to the queue, reporting exactly why when it
+// cannot: EnqClosed after Close, EnqFull when the configured item or ring
+// budget is exhausted. v must not be Bottom.
+//
+// Bounded mode reserves budget first (one atomic add on the exact item
+// account), so the number of accepted-but-not-dequeued items can never
+// exceed Capacity, even transiently. The ring budget is enforced on the
+// append slow path: an enqueuer that would have to link a segment past
+// MaxRings backs out instead, which keeps the chain's length — and thus the
+// queue's memory — bounded no matter how far a consumer has stalled.
+// Dequeuers are never gated, so the queue's op-wise nonblocking progress is
+// unchanged: some dequeue always completes in a bounded number of its own
+// steps, and every rejected enqueue completes (with EnqFull) immediately.
+func (q *LCRQ) EnqueueStatus(h *Handle, v uint64) EnqStatus {
 	if v == Bottom {
 		panic("core: enqueue of reserved value Bottom")
 	}
+	if cap := q.cfg.Capacity; cap > 0 {
+		if q.items.Add(1) > cap {
+			q.items.Add(-1)
+			// Closed wins over full: a producer parked at the capacity gate
+			// (EnqueueWait) must observe Close even when no slot ever frees.
+			if q.closed.Load() {
+				return EnqClosed
+			}
+			q.reject()
+			return EnqFull
+		}
+	}
+	st := q.enqueue(h, v)
+	if st != EnqOK && q.cfg.Capacity > 0 {
+		q.items.Add(-1) // hand the reservation back
+	}
+	switch {
+	case st == EnqFull:
+		q.reject()
+	case st == EnqOK && q.cfg.MaxRings > 0:
+		// A success ends any full episode; the next rejection re-arms the
+		// EvCapacityReject tap. Plain load first so the steady non-full
+		// state costs one read, not a store.
+		if q.full.Load() {
+			q.full.Store(false)
+		}
+	}
+	return st
+}
+
+// reject accounts a capacity rejection: the exact counter always, the Tap
+// event once per full episode (see LCRQ.full).
+func (q *LCRQ) reject() {
+	q.rejects.Add(1)
+	chaos.Delay(chaos.CapacityGate)
+	if !q.full.Load() && q.full.CompareAndSwap(false, true) {
+		q.tap(EvCapacityReject)
+	}
+}
+
+// releaseItem returns one unit of item budget after a successful dequeue.
+func (q *LCRQ) releaseItem() {
+	if q.cfg.Capacity > 0 {
+		q.items.Add(-1)
+	}
+}
+
+// Items returns the exact number of accepted, not-yet-dequeued values on a
+// capacity-bounded queue, and 0 on an unbounded one (which keeps no item
+// account; use Depth for an approximation there).
+func (q *LCRQ) Items() int64 { return q.items.Load() }
+
+// Capacity returns the configured item bound (0 when unbounded).
+func (q *LCRQ) Capacity() int64 { return q.cfg.Capacity }
+
+// MaxRings returns the configured ring budget (0 when unbounded).
+func (q *LCRQ) MaxRings() int { return q.cfg.MaxRings }
+
+// CapacityRejects returns how many enqueue attempts a bounded queue has
+// rejected.
+func (q *LCRQ) CapacityRejects() uint64 { return q.rejects.Load() }
+
+// EpochStalls returns how many stall-by-policy declarations the epoch
+// domain has made (0 outside epoch mode).
+func (q *LCRQ) EpochStalls() uint64 {
+	if q.edom == nil {
+		return 0
+	}
+	return q.edom.Stalls()
+}
+
+// OrphanRecoveries returns how many leaked handles (never Released) had
+// their reclamation records recovered by the orphan finalizer.
+func (q *LCRQ) OrphanRecoveries() uint64 { return q.orphans.Load() }
+
+// KickReclaim forces one reclamation step outside the amortized operation
+// schedule: an epoch-advance attempt in epoch mode, nothing elsewhere
+// (hazard scans are already driven by retirement counts, GC mode has no
+// scheme). Watchdogs call it so reclamation keeps moving when operation
+// traffic — whose Unpins normally drive advancement — has stopped.
+func (q *LCRQ) KickReclaim(h *Handle) {
+	if h.ep != nil {
+		h.ep.TryAdvance()
+	}
+}
+
+// enqueue is the core protocol loop of Figure 5, extended with the queue
+// close check (PR 1) and the ring budget gate (bounded mode).
+func (q *LCRQ) enqueue(h *Handle, v uint64) EnqStatus {
 	h.enter()
 	defer h.exit()
 	for {
@@ -241,7 +398,7 @@ func (q *LCRQ) Enqueue(h *Handle, v uint64) bool {
 		if crq.Enqueue(h, v) {
 			h.C.Enqueues++
 			q.unprotect(h, hpTail)
-			return true
+			return EnqOK
 		}
 		// Tail CRQ is closed. If the queue itself has been closed, the
 		// enqueue fails instead of appending a fresh ring; Close guarantees
@@ -249,7 +406,18 @@ func (q *LCRQ) Enqueue(h *Handle, v uint64) bool {
 		// the append slow path is the only one the hot path needs.
 		if q.closed.Load() {
 			q.unprotect(h, hpTail)
-			return false
+			return EnqClosed
+		}
+		// Ring budget gate: refuse to link a segment past MaxRings. The
+		// check sits in the same loop iteration as the publication CAS
+		// below, and appenders serialize on that CAS (only one wins per
+		// iteration, each raising rings by exactly one), so rings can never
+		// exceed the budget: the winner at rings == MaxRings-1 brings the
+		// chain to the budget, and every contender re-running this loop
+		// afterwards is turned away here before allocating.
+		if max := q.cfg.MaxRings; max > 0 && q.rings.Load() >= int64(max) {
+			q.unprotect(h, hpTail)
+			return EnqFull
 		}
 		// Append a new CRQ containing v (159-166).
 		newcrq, recycled := q.newRing(h, v)
@@ -276,7 +444,7 @@ func (q *LCRQ) Enqueue(h *Handle, v uint64) bool {
 				newcrq.closeRing(h, EvRingClose)
 			}
 			q.unprotect(h, hpTail)
-			return true
+			return EnqOK
 		}
 		h.C.CASFail++
 		q.releaseRing(newcrq) // lost the race; ring was never visible
@@ -336,6 +504,7 @@ func (q *LCRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 		}
 		if v, ok := crq.Dequeue(h); ok {
 			h.C.Dequeues++
+			q.releaseItem()
 			q.unprotect(h, hpHead)
 			return v, true
 		}
@@ -347,6 +516,7 @@ func (q *LCRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 		}
 		if v, ok := crq.Dequeue(h); ok {
 			h.C.Dequeues++
+			q.releaseItem()
 			q.unprotect(h, hpHead)
 			return v, true
 		}

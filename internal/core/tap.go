@@ -25,18 +25,37 @@ const (
 	EvRingRetire
 	// EvQueueClose: the queue was closed to new enqueues (first Close call).
 	EvQueueClose
+	// EvCapacityReject: a bounded queue rejected an enqueue for lack of
+	// item or ring budget. Emitted once per full episode (the first
+	// rejection after a successful enqueue), not per rejected call, so a
+	// polling EnqueueWait cannot flood the trace.
+	EvCapacityReject
+	// EvEpochStall: a pinned epoch record lagged the global epoch past the
+	// configured stall age and was declared stalled-by-policy, unblocking
+	// reclamation (recycling is suppressed while it remains stalled).
+	EvEpochStall
+	// EvOrphanRecover: a handle leaked without Release had its reclamation
+	// record returned to the domain by the orphan-recovery finalizer.
+	EvOrphanRecover
+	// EvWatchdogAlert: the watchdog's health verdict transitioned from ok
+	// to a detected problem (tantrum storm, capacity stall, epoch stall).
+	EvWatchdogAlert
 
 	// NumRingEvents is the number of event kinds; it is not itself an event.
 	NumRingEvents
 )
 
 var ringEventNames = [NumRingEvents]string{
-	EvRingClose:   "ring-close",
-	EvRingTantrum: "ring-tantrum",
-	EvRingAppend:  "ring-append",
-	EvRingRecycle: "ring-recycle",
-	EvRingRetire:  "ring-retire",
-	EvQueueClose:  "queue-close",
+	EvRingClose:      "ring-close",
+	EvRingTantrum:    "ring-tantrum",
+	EvRingAppend:     "ring-append",
+	EvRingRecycle:    "ring-recycle",
+	EvRingRetire:     "ring-retire",
+	EvQueueClose:     "queue-close",
+	EvCapacityReject: "capacity-reject",
+	EvEpochStall:     "epoch-stall",
+	EvOrphanRecover:  "orphan-recover",
+	EvWatchdogAlert:  "watchdog-alert",
 }
 
 // String returns the event's stable name, as used in traces and exporters.

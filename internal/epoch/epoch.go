@@ -18,6 +18,7 @@ package epoch
 
 import (
 	"sync/atomic"
+	"time"
 
 	"lcrq/internal/chaos"
 	"lcrq/internal/pad"
@@ -38,10 +39,39 @@ type Domain[T any] struct {
 	global  atomic.Uint64
 	_       pad.Line
 	records atomic.Pointer[Record[T]]
+
+	// Stall policy (SetStallPolicy): a pinned record lagging the global
+	// epoch for stallAge nanoseconds is declared stalled and excluded from
+	// blocking advancement. 0 disables detection.
+	stallAge int64
+	onStall  func() // stall-declaration callback (telemetry); may be nil
+	stalls   atomic.Uint64
 }
 
 // New returns an empty domain.
 func New[T any]() *Domain[T] { return &Domain[T]{} }
+
+// SetStallPolicy enables stall-resilient advancement: a pinned record that
+// has been observed lagging the global epoch for longer than age is declared
+// stalled-by-policy and no longer blocks epoch advancement. onStall (may be
+// nil) is invoked once per declaration, from the advancing thread.
+//
+// Exclusion keeps the queue's *reclamation* live but voids the grace-period
+// proof for the excluded thread: while any record is stalled, reclaim
+// callbacks are skipped and the retired nodes are dropped to the garbage
+// collector instead, since the stalled thread may still hold references to
+// them. (Under Go's GC that is safe — merely unrecycled; in a manually
+// managed setting it would not be.) A stalled record that moves again is
+// re-honored automatically.
+//
+// Call before the domain is in use; the policy is not synchronized.
+func (d *Domain[T]) SetStallPolicy(age time.Duration, onStall func()) {
+	d.stallAge = age.Nanoseconds()
+	d.onStall = onStall
+}
+
+// Stalls reports how many stall declarations the domain has made.
+func (d *Domain[T]) Stalls() uint64 { return d.stalls.Load() }
 
 // Record is one thread's participation state. A Record must not be used
 // concurrently.
@@ -50,6 +80,14 @@ type Record[T any] struct {
 	domain *Domain[T]
 	local  atomic.Uint64 // activeBit|epoch while pinned, 0 while not
 	inUse  atomic.Bool
+
+	// Stall bookkeeping, written by advancing peers (never the owner):
+	// lastObs is the lagging local value last observed, lagSince when that
+	// value was first seen, and stalled whether the record is currently
+	// excluded from blocking advancement.
+	lastObs  atomic.Uint64
+	lagSince atomic.Int64
+	stalled  atomic.Bool
 
 	pins    uint64
 	buckets [generations][]retired[T]
@@ -78,17 +116,32 @@ func (d *Domain[T]) Acquire() *Record[T] {
 	}
 }
 
-// Release unpins and returns the record to the domain. Outstanding retired
-// nodes stay in the record's buckets and are reclaimed by whoever reuses it
-// (or on its own later epochs).
+// Release returns the record to the domain. Outstanding retired nodes stay
+// in the record's buckets and are reclaimed by whoever reuses it (or on its
+// own later epochs). Releasing a record that is still pinned panics: the
+// pin marks an open critical region whose reachable nodes the domain still
+// guards, and silently dropping it would hand a protected epoch slot to the
+// next Acquire.
 func (r *Record[T]) Release() {
-	r.local.Store(0)
+	if r.local.Load()&activeBit != 0 {
+		panic("epoch: Release of a still-pinned Record; Unpin first")
+	}
 	r.inUse.Store(false)
 }
 
+// Pinned reports whether the record currently holds an open critical
+// region. Meaningful only from the owning thread (or once the owner is
+// provably gone, as in orphan recovery).
+func (r *Record[T]) Pinned() bool { return r.local.Load()&activeBit != 0 }
+
 // Pin enters a critical region: nodes reachable now will not be reclaimed
-// until Unpin. Pins must not be nested.
+// until Unpin. Pins must not be nested; a nested Pin panics rather than
+// silently moving the open region to a newer epoch (which would void the
+// grace-period proof for nodes read before the second Pin).
 func (r *Record[T]) Pin() {
+	if r.local.Load()&activeBit != 0 {
+		panic("epoch: nested Pin on a Record")
+	}
 	e := r.domain.global.Load()
 	// Stall between reading the global epoch and publishing the pin: the
 	// window in which an advancing reclaimer may not count this thread.
@@ -98,14 +151,25 @@ func (r *Record[T]) Pin() {
 	// and establishes the edge the reclaimer's scan needs.
 }
 
-// Unpin leaves the critical region.
+// Unpin leaves the critical region. Unpinning a record that is not pinned
+// panics — a double Unpin means some critical region's bracket discipline
+// is broken, and the next Pin would protect nothing it thinks it does.
 func (r *Record[T]) Unpin() {
+	if r.local.Load()&activeBit == 0 {
+		panic("epoch: Unpin of an unpinned Record")
+	}
 	r.local.Store(0)
 	r.pins++
 	if r.pins%advanceInterval == 0 {
 		r.tryAdvance()
 	}
 }
+
+// TryAdvance attempts one epoch advancement (and the reclamation of this
+// record's safe generation) outside the amortized Unpin schedule. Watchdogs
+// use it to keep reclamation moving when regular operation traffic — whose
+// Unpins normally drive advancement — has stopped.
+func (r *Record[T]) TryAdvance() { r.tryAdvance() }
 
 // Retire schedules p for reclamation once two epoch advances have passed.
 // Call while pinned.
@@ -120,15 +184,60 @@ func (r *Record[T]) Retire(p *T, reclaim func(*T)) {
 
 // tryAdvance attempts to move the global epoch forward and reclaims this
 // record's safe generation.
+//
+// With a stall policy set (SetStallPolicy), a record pinned in an older
+// epoch does not block advancement forever: once the same lagging local
+// value has been observed for stallAge, the record is declared stalled,
+// counted, reported, and excluded. Reclamation performed while any record
+// is stalled skips the reclaim callbacks (nodes drop to the garbage
+// collector) because the excluded thread may still hold references; see
+// SetStallPolicy.
 func (r *Record[T]) tryAdvance() {
 	d := r.domain
 	chaos.Delay(chaos.EpochWindow)
 	e := d.global.Load()
+	sawStalled := false
 	for rec := d.records.Load(); rec != nil; rec = rec.next {
 		l := rec.local.Load()
-		if l&activeBit != 0 && l&^activeBit != e {
-			return // someone is pinned in an older epoch
+		if l&activeBit == 0 || l&^activeBit == e {
+			// Not pinned, or pinned in the current epoch: no obstacle. A
+			// previously stalled record that moved again is re-honored.
+			if rec.stalled.Load() {
+				rec.stalled.Store(false)
+			}
+			continue
 		}
+		// Pinned in an older epoch.
+		if rec.stalled.Load() {
+			if rec.lastObs.Load() == l {
+				sawStalled = true
+				continue // excluded: stalled-by-policy and unmoved
+			}
+			rec.stalled.Store(false) // moved since declared; age it afresh
+		}
+		if d.stallAge <= 0 {
+			return // no stall policy: the pinned record blocks advancement
+		}
+		now := time.Now().UnixNano()
+		if rec.lastObs.Load() != l {
+			// First observation of this lagging value: start its clock.
+			// Concurrent advancers may race these stores; the worst case is
+			// a restarted clock, which only delays the declaration.
+			rec.lastObs.Store(l)
+			rec.lagSince.Store(now)
+			return
+		}
+		if now-rec.lagSince.Load() < d.stallAge {
+			return // lagging, but not yet past the policy age
+		}
+		if rec.stalled.CompareAndSwap(false, true) {
+			d.stalls.Add(1)
+			chaos.Delay(chaos.StallScan)
+			if d.onStall != nil {
+				d.onStall()
+			}
+		}
+		sawStalled = true
 	}
 	if !d.global.CompareAndSwap(e, e+1) {
 		return // someone else advanced; our generation math redoes next time
@@ -138,7 +247,7 @@ func (r *Record[T]) tryAdvance() {
 	// epoch e-1, which no pinned thread can still see.
 	safe := (e + 2) % generations
 	for _, rn := range r.buckets[safe] {
-		if rn.reclaim != nil {
+		if rn.reclaim != nil && !sawStalled {
 			rn.reclaim(rn.p)
 		}
 	}

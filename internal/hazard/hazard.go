@@ -39,13 +39,34 @@ type Domain[T any] struct {
 	nrecords      atomic.Int64
 }
 
+// DefaultScanThreshold is the per-record retirement batch used when no
+// explicit threshold is configured.
+const DefaultScanThreshold = 8
+
 // New creates a Domain whose records each hold slots hazard pointers.
 func New[T any](slots int) *Domain[T] {
 	if slots <= 0 {
 		panic("hazard: slots must be positive")
 	}
-	return &Domain[T]{slots: slots, scanThreshold: 8}
+	return &Domain[T]{slots: slots, scanThreshold: DefaultScanThreshold}
 }
+
+// SetScanThreshold sets the retirement batch: a record scans once its
+// retired list holds threshold × (number of records) entries. Smaller
+// values tighten the retired-memory bound — a record's list never exceeds
+// threshold × records entries, of which at most slots × records can survive
+// a scan — at the cost of more frequent O(H) scans. threshold < 1 selects
+// DefaultScanThreshold. Call before the domain is in use; the setting is
+// not synchronized.
+func (d *Domain[T]) SetScanThreshold(threshold int) {
+	if threshold < 1 {
+		threshold = DefaultScanThreshold
+	}
+	d.scanThreshold = threshold
+}
+
+// ScanThreshold returns the configured retirement batch.
+func (d *Domain[T]) ScanThreshold() int { return d.scanThreshold }
 
 // Record is one thread's set of hazard slots plus its private retired list.
 // A Record must not be used concurrently.

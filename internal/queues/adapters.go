@@ -1,6 +1,8 @@
 package queues
 
 import (
+	"runtime"
+
 	"lcrq/internal/ccqueue"
 	"lcrq/internal/core"
 	"lcrq/internal/fc"
@@ -77,6 +79,11 @@ type lcrqAdapter struct {
 }
 
 func newLCRQAdapter(name string, cfg Config, cc core.Config) Queue {
+	// Governed mode (qbench -capacity / -watchdog): the bound and check
+	// interval apply uniformly to every LCRQ variant; core normalization
+	// derives the ring budget from the capacity.
+	cc.Capacity = cfg.Capacity
+	cc.Watchdog = cfg.Watchdog
 	return &lcrqAdapter{name: name, q: core.NewLCRQ(cc)}
 }
 
@@ -93,7 +100,32 @@ type lcrqHandle struct {
 	h *core.Handle
 }
 
-func (h *lcrqHandle) Enqueue(v uint64) { h.q.Enqueue(h.h, v) }
+// Governance reports the budget outcome of a bounded run (Governed).
+func (a *lcrqAdapter) Governance() GovernanceStats {
+	return GovernanceStats{
+		Capacity:         a.q.Capacity(),
+		MaxRings:         int64(a.q.MaxRings()),
+		Items:            a.q.Items(),
+		LiveRings:        a.q.LiveRings(),
+		CapacityRejects:  a.q.CapacityRejects(),
+		EpochStalls:      a.q.EpochStalls(),
+		OrphanRecoveries: a.q.OrphanRecoveries(),
+	}
+}
+
+func (h *lcrqHandle) Enqueue(v uint64) {
+	if h.q.Enqueue(h.h, v) {
+		return
+	}
+	// Bounded governed mode: apply backpressure — the benchmark measures
+	// throughput under the budget, it does not drop items.
+	for !h.q.Enqueue(h.h, v) {
+		if h.q.Closed() {
+			return
+		}
+		runtime.Gosched()
+	}
+}
 func (h *lcrqHandle) Dequeue() (uint64, bool) {
 	v, ok := h.q.Dequeue(h.h)
 	if !ok {

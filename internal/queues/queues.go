@@ -28,6 +28,37 @@ type Config struct {
 	// Prefill hints how many items will be pre-inserted, so bounded
 	// implementations (the channel baseline) can size themselves.
 	Prefill int
+	// Capacity, when positive, bounds the LCRQ family's in-flight items
+	// (the governed benchmark mode behind qbench -capacity). Producers
+	// block — spinning politely — instead of dropping when the bound binds.
+	Capacity int64
+	// Watchdog, when positive, is the health-check interval for governed
+	// runs (qbench -watchdog); the harness samples GovernanceStats at this
+	// cadence and derives verdicts.
+	Watchdog time.Duration
+}
+
+// GovernanceStats reports the resource-governance outcome of a bounded run.
+// Adapters that enforce budgets implement Governed; everything else simply
+// does not.
+type GovernanceStats struct {
+	Capacity         int64  `json:"capacity"`
+	MaxRings         int64  `json:"max_rings"`
+	Items            int64  `json:"items"`
+	LiveRings        int64  `json:"live_rings"`
+	CapacityRejects  uint64 `json:"capacity_rejects"`
+	EpochStalls      uint64 `json:"epoch_stalls"`
+	OrphanRecoveries uint64 `json:"orphan_recoveries"`
+	// Checks and Verdict are filled by the harness watchdog sampler, not by
+	// the adapter.
+	Checks  uint64 `json:"watchdog_checks,omitempty"`
+	Verdict string `json:"verdict,omitempty"`
+}
+
+// Governed is implemented by queue adapters that enforce resource budgets
+// and can report how the budgets fared.
+type Governed interface {
+	Governance() GovernanceStats
 }
 
 // Queue is a constructed queue instance.

@@ -41,6 +41,7 @@ const (
 	KindEnqueue Kind = iota
 	KindDequeue
 	KindDequeueWait
+	KindEnqueueWait
 
 	// NumKinds is the number of latency series; it is not itself a kind.
 	NumKinds
@@ -50,6 +51,7 @@ var kindNames = [NumKinds]string{
 	KindEnqueue:     "enqueue",
 	KindDequeue:     "dequeue",
 	KindDequeueWait: "dequeue-wait",
+	KindEnqueueWait: "enqueue-wait",
 }
 
 // String returns the series name used by the exporters.
@@ -74,11 +76,11 @@ type Sink struct {
 	sampleN uint32 // latency sampling stride; 0 disables sampling
 	epoch   int64  // UnixNano base for compact event timestamps
 
-	mu      sync.Mutex                  // guards registration and retired
-	retired instrument.Counters         // sum over released handles (under mu)
-	retPub  *instrument.AtomicCounters  // atomically readable copy of retired
-	recs    atomic.Pointer[[]*Rec]      // copy-on-write registry of live handles
-	seedCtr atomic.Uint64               // sampling phase scrambler
+	mu      sync.Mutex                 // guards registration and retired
+	retired instrument.Counters        // sum over released handles (under mu)
+	retPub  *instrument.AtomicCounters // atomically readable copy of retired
+	recs    atomic.Pointer[[]*Rec]     // copy-on-write registry of live handles
+	seedCtr atomic.Uint64              // sampling phase scrambler
 	hists   [NumKinds]*latHist
 	events  *eventRing
 	evCount [core.NumRingEvents]atomic.Uint64

@@ -37,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"lcrq/internal/chaos"
 	"lcrq/internal/core"
 	"lcrq/internal/telemetry"
 )
@@ -49,11 +50,18 @@ const Reserved = core.Bottom
 // fully drained: no value is coming, ever.
 var ErrClosed = errors.New("lcrq: queue closed")
 
-// Queue is an unbounded nonblocking MPMC FIFO queue of uint64 values.
-// All methods are safe for concurrent use.
+// ErrFull is returned by TryEnqueue when a bounded queue (WithCapacity /
+// WithMaxRings) has no item or ring budget left. The value was not
+// enqueued; EnqueueWait retries instead of returning it.
+var ErrFull = errors.New("lcrq: queue full")
+
+// Queue is a nonblocking MPMC FIFO queue of uint64 values, unbounded by
+// default and bounded with WithCapacity / WithMaxRings. All methods are
+// safe for concurrent use.
 type Queue struct {
 	q    *core.LCRQ
 	tel  *telemetry.Sink // nil unless WithTelemetry / WithLatencySampling
+	wd   *watchdog       // nil unless WithWatchdog
 	pool sync.Pool       // spare *Handle for the convenience methods
 }
 
@@ -83,6 +91,9 @@ func New(opts ...Option) *Queue {
 		runtime.SetFinalizer(h, (*Handle).Release)
 		return h
 	}
+	if wd := q.q.Config().Watchdog; wd > 0 {
+		q.wd = startWatchdog(q, wd)
+	}
 	return q
 }
 
@@ -109,7 +120,9 @@ func (q *Queue) NewHandle() *Handle {
 func (h *Handle) SetCluster(cluster int) { h.h.Cluster = int64(cluster) }
 
 // Enqueue appends v to the queue and reports whether it was accepted: ok is
-// false only once the queue has been closed. v must not equal Reserved.
+// false once the queue has been closed, or — on a bounded queue — when the
+// item or ring budget is exhausted (use TryEnqueue to distinguish the two,
+// or EnqueueWait to block for budget). v must not equal Reserved.
 //
 // Without telemetry the only addition over the core operation is the nil
 // check on h.tel — the same "dead branch on the fast path" shape as the
@@ -120,6 +133,113 @@ func (h *Handle) Enqueue(v uint64) (ok bool) {
 		return h.q.q.Enqueue(h.h, v)
 	}
 	return h.enqueueTel(v)
+}
+
+// TryEnqueue appends v to the queue, reporting exactly why when it cannot:
+// ErrClosed after Close, ErrFull when a bounded queue has no budget left.
+// It never blocks. v must not equal Reserved.
+func (h *Handle) TryEnqueue(v uint64) error {
+	switch h.enqueueStatus(v) {
+	case core.EnqOK:
+		return nil
+	case core.EnqFull:
+		return ErrFull
+	default:
+		return ErrClosed
+	}
+}
+
+// enqueueStatus is one bounded-aware enqueue attempt, with the same
+// telemetry treatment as Enqueue (rejected attempts feed the enqueue
+// latency series like empty polls feed the dequeue one).
+func (h *Handle) enqueueStatus(v uint64) core.EnqStatus {
+	r := h.tel
+	if r == nil {
+		return h.q.q.EnqueueStatus(h.h, v)
+	}
+	if r.Arm() {
+		t0 := time.Now()
+		st := h.q.q.EnqueueStatus(h.h, v)
+		r.Lat(telemetry.KindEnqueue, time.Since(t0))
+		r.Tick()
+		return st
+	}
+	st := h.q.q.EnqueueStatus(h.h, v)
+	r.Tick()
+	return st
+}
+
+// EnqueueWait blocks until a bounded queue accepts v. It fails with
+// ErrClosed once the queue has been closed, or with ctx.Err() when ctx is
+// done first; on error v was not enqueued. A nil ctx waits without
+// cancellation. On an unbounded queue it is equivalent to Enqueue and never
+// blocks.
+//
+// Waiting mirrors DequeueWait: a brief spin, then bounded exponential
+// backoff sleeps (WithWaitBackoff), so a blocked producer costs no CPU
+// while the queue stays full but reacts quickly when a consumer frees
+// budget. Fairness among blocked producers is not guaranteed — whichever
+// waiter polls first after budget frees wins, as with any nonblocking
+// queue's CAS races.
+func (h *Handle) EnqueueWait(ctx context.Context, v uint64) error {
+	if r := h.tel; r != nil && r.Arm() {
+		// The enqueue-wait series times the whole wait, sleeps included —
+		// producer backpressure stall, not queue-operation cost.
+		t0 := time.Now()
+		err := h.enqueueWait(ctx, v)
+		if err == nil {
+			r.Lat(telemetry.KindEnqueueWait, time.Since(t0))
+		}
+		r.Tick()
+		return err
+	}
+	return h.enqueueWait(ctx, v)
+}
+
+func (h *Handle) enqueueWait(ctx context.Context, v uint64) error {
+	cfg := h.q.q.Config()
+	backoff := cfg.WaitBackoffMin
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	for spin := 0; ; spin++ {
+		switch h.enqueueStatus(v) {
+		case core.EnqOK:
+			return nil
+		case core.EnqClosed:
+			return ErrClosed
+		}
+		chaos.Delay(chaos.EnqWait)
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
+		if spin < 8 {
+			runtime.Gosched()
+			continue
+		}
+		timer := time.NewTimer(backoff)
+		if done != nil {
+			select {
+			case <-done:
+				timer.Stop()
+				return ctx.Err()
+			case <-timer.C:
+			}
+		} else {
+			<-timer.C
+		}
+		if backoff < cfg.WaitBackoffMax {
+			backoff *= 2
+			if backoff > cfg.WaitBackoffMax {
+				backoff = cfg.WaitBackoffMax
+			}
+		}
+	}
 }
 
 // enqueueTel is the telemetry-enabled enqueue: it times the operation when
@@ -262,6 +382,24 @@ func (q *Queue) Enqueue(v uint64) (ok bool) {
 	return ok
 }
 
+// TryEnqueue appends v using a pooled handle, reporting ErrClosed or
+// ErrFull when it cannot; see Handle.TryEnqueue.
+func (q *Queue) TryEnqueue(v uint64) error {
+	h := q.pool.Get().(*Handle)
+	err := h.TryEnqueue(v)
+	q.pool.Put(h)
+	return err
+}
+
+// EnqueueWait blocks until a bounded queue accepts v, using a pooled
+// handle; see Handle.EnqueueWait.
+func (q *Queue) EnqueueWait(ctx context.Context, v uint64) error {
+	h := q.pool.Get().(*Handle)
+	err := h.EnqueueWait(ctx, v)
+	q.pool.Put(h)
+	return err
+}
+
 // Dequeue removes and returns the oldest value using a pooled handle.
 func (q *Queue) Dequeue() (v uint64, ok bool) {
 	h := q.pool.Get().(*Handle)
@@ -276,6 +414,9 @@ func (q *Queue) Dequeue() (v uint64, ok bool) {
 // concurrent with Close may linearize on either side of it. Close is
 // idempotent and safe to call concurrently with all other operations.
 func (q *Queue) Close() {
+	if q.wd != nil {
+		q.wd.stop()
+	}
 	h := q.pool.Get().(*Handle)
 	q.q.Close(h.h)
 	q.pool.Put(h)

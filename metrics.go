@@ -51,11 +51,32 @@ type Metrics struct {
 	// Closed reports whether the queue has been closed to new enqueues.
 	Closed bool
 
-	// Per-operation sampled latency series. DequeueWait times whole waits
-	// (sleeps included) and only successful ones.
+	// Resource governance (all zero on an unbounded queue). Capacity and
+	// MaxRings are the configured budgets; Items is the exact in-flight
+	// item account a capacity-bounded queue maintains (unlike Depth, which
+	// is approximate); CapacityRejects counts rejected enqueue attempts.
+	Capacity        int64
+	MaxRings        int
+	Items           int64
+	CapacityRejects uint64
+
+	// EpochStalls counts reclamation participants declared stalled-by-
+	// policy (WithStallRecovery); OrphanRecoveries counts handles that were
+	// leaked without Release and had their reclamation records recovered by
+	// the finalizer.
+	EpochStalls      uint64
+	OrphanRecoveries uint64
+
+	// Health is the watchdog's verdict (WithWatchdog); Verdict "disabled"
+	// when no watchdog runs.
+	Health Health
+
+	// Per-operation sampled latency series. DequeueWait and EnqueueWait
+	// time whole waits (sleeps included) and only successful ones.
 	Enqueue     LatencySummary
 	Dequeue     LatencySummary
 	DequeueWait LatencySummary
+	EnqueueWait LatencySummary
 
 	// RingEvents counts ring-lifecycle transitions by event name
 	// (ring-close, ring-tantrum, ring-append, ring-recycle, ring-retire,
@@ -100,6 +121,13 @@ func (q *Queue) Metrics() Metrics {
 	m.LiveRings = q.q.LiveRings()
 	m.RecyclerRings = q.q.RecyclerSize()
 	m.Closed = q.q.Closed()
+	m.Capacity = q.q.Capacity()
+	m.MaxRings = q.q.MaxRings()
+	m.Items = q.q.Items()
+	m.CapacityRejects = q.q.CapacityRejects()
+	m.EpochStalls = q.q.EpochStalls()
+	m.OrphanRecoveries = q.q.OrphanRecoveries()
+	m.Health = q.Health()
 	if q.tel == nil {
 		return m
 	}
@@ -110,6 +138,7 @@ func (q *Queue) Metrics() Metrics {
 	m.Enqueue = summarize(snap.Latency[telemetry.KindEnqueue])
 	m.Dequeue = summarize(snap.Latency[telemetry.KindDequeue])
 	m.DequeueWait = summarize(snap.Latency[telemetry.KindDequeueWait])
+	m.EnqueueWait = summarize(snap.Latency[telemetry.KindEnqueueWait])
 	m.RingEvents = make(map[string]uint64, len(snap.EventCounts))
 	for ev, n := range snap.EventCounts {
 		m.RingEvents[core.RingEvent(ev).String()] = n

@@ -119,14 +119,103 @@ func WithLatencySampling(n int) Option {
 	}
 }
 
+// WithCapacity bounds the number of items in flight: an enqueue that would
+// push the exact item account past n items is rejected instead of growing
+// the queue — Enqueue reports false, TryEnqueue returns ErrFull, and
+// EnqueueWait blocks until a dequeue frees budget. A ring budget is derived
+// automatically (⌈n/R⌉+1 segments, one extra for the drained-but-unretired
+// head ring), so a bounded queue's memory stays bounded even when consumers
+// stall; combine with WithMaxRings to set the segment budget explicitly.
+// n ≤ 0 leaves the queue unbounded.
+//
+// The bound is enforced with one atomic add per operation on the shared
+// item account; unbounded queues skip it entirely, so the default
+// configuration is unaffected.
+func WithCapacity(n int64) Option {
+	return func(c *core.Config) { c.Capacity = n }
+}
+
+// WithMaxRings bounds the number of ring segments linked in the queue's
+// list: an enqueue that would need to append a segment past the budget is
+// rejected like a capacity overflow. This caps the queue's memory at
+// roughly n × ring size even without an item bound (items can still pack
+// densely into the allowed rings). Budgets below 2 are raised to 2 — the
+// terminal ring only retires once a successor exists, so a budget of 1
+// would wedge after the first ring close. n ≤ 0 leaves the chain unbounded
+// unless WithCapacity derives a budget.
+func WithMaxRings(n int) Option {
+	return func(c *core.Config) { c.MaxRings = n }
+}
+
+// WithReclamationBatch sets the hazard-pointer scan threshold: a worker's
+// retired-ring list is scanned for reclamation once it holds n × (number of
+// workers) entries. Smaller values tighten the bound on retired-but-
+// unreclaimed memory at the cost of more frequent scans; 0 keeps the
+// default (8). Only meaningful in the default hazard reclamation mode.
+func WithReclamationBatch(n int) Option {
+	return func(c *core.Config) { c.ReclamationBatch = n }
+}
+
+// WithStallRecovery enables stall-resilient epoch reclamation: a worker
+// observed pinned in an old epoch for longer than age stops blocking
+// reclamation (it is declared stalled-by-policy, counted in
+// Metrics.EpochStalls, and reported as an epoch-stall event). While any
+// worker is stalled, reclaimed rings go to the garbage collector instead of
+// the recycler, since the stalled worker may still hold them — reclamation
+// stays live, recycling resumes when the stall clears. age 0 selects the
+// default (10 ms). Only meaningful with WithEpochReclamation; bounded
+// epoch-mode queues enable it automatically, because a queue that cannot
+// reclaim rings cannot accept items.
+func WithStallRecovery(age time.Duration) Option {
+	return func(c *core.Config) {
+		if age <= 0 {
+			age = core.DefaultStallAge
+		}
+		c.StallAge = age
+	}
+}
+
+// WithWatchdog starts a background health checker that inspects the
+// queue's telemetry every interval (0 selects 100 ms) and maintains a
+// verdict readable via Queue.Health and Metrics.Health: tantrum storms
+// (rings closing faster than items flow), capacity stalls (a bounded queue
+// full with no consumer progress), and epoch reclamation stalls. Each
+// ok→problem transition is reported as a watchdog-alert event, and in epoch
+// mode every check also kicks reclamation forward so a traffic lull cannot
+// freeze ring recycling. Implies WithTelemetry (the checks read the
+// telemetry aggregates). The watchdog goroutine stops at Close.
+func WithWatchdog(interval time.Duration) Option {
+	return func(c *core.Config) {
+		if interval <= 0 {
+			interval = core.DefaultWatchdogInterval
+		}
+		c.Watchdog = interval
+		c.Telemetry = true
+	}
+}
+
 // WithWaitBackoff bounds the exponential backoff DequeueWait uses while the
 // queue is empty: after a brief spin the waiter sleeps min, doubling up to
 // max. Zero values select the defaults (4 µs and 1 ms); max is raised to
 // min if it is smaller. Lower bounds poll more aggressively (lower latency,
-// more CPU while idle); higher bounds do the opposite.
+// more CPU while idle); higher bounds do the opposite. EnqueueWait shares
+// the bounds for its full-queue backoff.
 func WithWaitBackoff(min, max time.Duration) Option {
 	return func(c *core.Config) {
 		c.WaitBackoffMin = min
 		c.WaitBackoffMax = max
+	}
+}
+
+// withUnbounded strips the resource-governance options from a derived
+// internal queue. The typed facade applies it to its free-list queue: the
+// free list is seeded with exactly the arena's slot indices, so a capacity
+// bound there would reject recycled indices and silently shrink the arena,
+// and a watchdog there would double-report the user's queue.
+func withUnbounded() Option {
+	return func(c *core.Config) {
+		c.Capacity = 0
+		c.MaxRings = 0
+		c.Watchdog = 0
 	}
 }

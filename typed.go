@@ -35,9 +35,13 @@ type chunk[T any] struct {
 }
 
 // NewTyped returns an empty typed queue. Options configure the underlying
-// index queue (the free list uses the same ring geometry).
+// index queue (the free list uses the same ring geometry, but is always
+// unbounded and unwatched: it holds exactly the arena's recycled slot
+// indices, so a capacity bound there would lose slots, not apply
+// backpressure — WithCapacity and friends govern the main queue only).
 func NewTyped[T any](opts ...Option) *Typed[T] {
-	t := &Typed[T]{main: New(opts...), free: New(opts...)}
+	freeOpts := append(append([]Option{}, opts...), withUnbounded())
+	t := &Typed[T]{main: New(opts...), free: New(freeOpts...)}
 	empty := []*chunk[T]{}
 	t.arr.Store(&empty)
 	t.pool.New = func() any {
@@ -92,24 +96,57 @@ func (t *Typed[T]) grow(h *TypedHandle[T]) uint64 {
 	return base
 }
 
-// Enqueue appends v to the queue and reports whether it was accepted (false
-// only after Close).
+// Enqueue appends v to the queue and reports whether it was accepted: false
+// after Close, or when a bounded queue has no budget (TryEnqueue
+// distinguishes the two, EnqueueWait blocks for budget).
 func (h *TypedHandle[T]) Enqueue(v T) (ok bool) {
+	return h.TryEnqueue(v) == nil
+}
+
+// TryEnqueue appends v to the queue, reporting exactly why when it cannot:
+// ErrClosed after Close, ErrFull when a bounded queue has no budget left.
+// It never blocks.
+func (h *TypedHandle[T]) TryEnqueue(v T) error {
+	idx := h.takeSlot()
+	*h.t.slot(idx) = v
+	if err := h.main.TryEnqueue(idx); err != nil {
+		h.putSlot(idx)
+		return err
+	}
+	return nil
+}
+
+// EnqueueWait blocks until a bounded queue accepts v; it fails with
+// ErrClosed once the queue is closed, or with ctx.Err() when ctx is done
+// first. See Handle.EnqueueWait for the waiting strategy.
+func (h *TypedHandle[T]) EnqueueWait(ctx context.Context, v T) error {
+	idx := h.takeSlot()
+	*h.t.slot(idx) = v
+	if err := h.main.EnqueueWait(ctx, idx); err != nil {
+		h.putSlot(idx)
+		return err
+	}
+	return nil
+}
+
+// takeSlot acquires an arena slot index, growing the arena when the free
+// list is dry.
+func (h *TypedHandle[T]) takeSlot() uint64 {
 	idx, ok := h.free.Dequeue()
 	if !ok {
 		idx = h.t.grow(h)
 	}
-	*h.t.slot(idx) = v
-	if !h.main.Enqueue(idx) {
-		// Queue closed: clear the slot and recycle its index. The free
-		// list is a private, never-closed queue, so recycling still works
-		// after Close.
-		var zero T
-		*h.t.slot(idx) = zero
-		h.free.Enqueue(idx)
-		return false
-	}
-	return true
+	return idx
+}
+
+// putSlot clears a slot whose index never reached the main queue (the
+// enqueue was rejected) and recycles the index. The free list is a private,
+// never-closed, unbounded queue, so recycling works after Close and under
+// capacity pressure alike.
+func (h *TypedHandle[T]) putSlot(idx uint64) {
+	var zero T
+	*h.t.slot(idx) = zero
+	h.free.Enqueue(idx)
 }
 
 // Dequeue removes and returns the oldest value; ok is false if the queue
@@ -179,6 +216,24 @@ func (t *Typed[T]) Enqueue(v T) (ok bool) {
 	return ok
 }
 
+// TryEnqueue appends v using a pooled handle, reporting ErrClosed or
+// ErrFull when it cannot; see TypedHandle.TryEnqueue.
+func (t *Typed[T]) TryEnqueue(v T) error {
+	h := t.pool.Get().(*TypedHandle[T])
+	err := h.TryEnqueue(v)
+	t.pool.Put(h)
+	return err
+}
+
+// EnqueueWait blocks until a bounded queue accepts v, using a pooled
+// handle; see TypedHandle.EnqueueWait.
+func (t *Typed[T]) EnqueueWait(ctx context.Context, v T) error {
+	h := t.pool.Get().(*TypedHandle[T])
+	err := h.EnqueueWait(ctx, v)
+	t.pool.Put(h)
+	return err
+}
+
 // Dequeue removes and returns the oldest value using a pooled handle.
 func (t *Typed[T]) Dequeue() (v T, ok bool) {
 	h := t.pool.Get().(*TypedHandle[T])
@@ -186,3 +241,7 @@ func (t *Typed[T]) Dequeue() (v T, ok bool) {
 	t.pool.Put(h)
 	return v, ok
 }
+
+// Health returns the watchdog verdict of the underlying index queue; see
+// Queue.Health.
+func (t *Typed[T]) Health() Health { return t.main.Health() }

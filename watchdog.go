@@ -1,0 +1,195 @@
+package lcrq
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"lcrq/internal/core"
+)
+
+// Health is the watchdog's current verdict on the queue (WithWatchdog).
+// The zero value means "no watchdog"; see Queue.Health.
+type Health struct {
+	// OK is false while the watchdog's latest check detected a problem.
+	OK bool
+
+	// Verdict names the state: "disabled", "ok", or one of the problem
+	// verdicts "tantrum-storm", "append-livelock", "capacity-stall",
+	// "epoch-stall".
+	Verdict string
+
+	// Detail elaborates the problem verdict with the numbers that triggered
+	// it; empty while healthy.
+	Detail string
+
+	// Checks is how many inspection ticks the watchdog has completed, and
+	// LastCheck when the latest finished. A Checks that stops advancing
+	// means the watchdog itself was stopped (Close).
+	Checks    uint64
+	LastCheck time.Time
+}
+
+// Watchdog detection thresholds, per check interval. They are deliberately
+// coarse: the watchdog flags sustained pathology a human should look at,
+// not transient contention the queue is designed to absorb.
+const (
+	// wdTantrumStorm: ring closes by tantrum per tick that indicate
+	// starvation-close livelock rather than occasional contention. A
+	// healthy queue closes rings by filling them; a storm of tantrums means
+	// enqueuers keep hitting StarvationLimit and discarding ring space.
+	wdTantrumStorm = 128
+	// wdAppendStorm: ring appends per tick with zero completed dequeues —
+	// segments are churning while no consumer makes progress.
+	wdAppendStorm = 128
+	// wdCapacityTicks: consecutive ticks a bounded queue must spend full
+	// (rejections arriving, zero dequeues completing) before the verdict
+	// flips to capacity-stall. Two ticks filter out a full queue whose
+	// consumers are merely slow to the sampling edge.
+	wdCapacityTicks = 2
+)
+
+// watchdog is the background health checker started by WithWatchdog. Each
+// tick it diffs the queue's telemetry aggregates against the previous tick,
+// applies the detection rules above, and in epoch mode kicks reclamation
+// forward so a traffic lull cannot strand retired rings.
+type watchdog struct {
+	q        *Queue
+	interval time.Duration
+	stopCh   chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu     sync.Mutex
+	health Health
+
+	// Previous-tick aggregates for deltas.
+	prevTantrums uint64
+	prevAppends  uint64
+	prevDequeues uint64
+	prevEmpty    uint64
+	prevRejects  uint64
+	prevStalls   uint64
+	fullTicks    int
+}
+
+func startWatchdog(q *Queue, interval time.Duration) *watchdog {
+	w := &watchdog{
+		q:        q,
+		interval: interval,
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+		health:   Health{OK: true, Verdict: "ok"},
+	}
+	go w.run()
+	return w
+}
+
+func (w *watchdog) stop() {
+	w.stopOnce.Do(func() { close(w.stopCh) })
+	<-w.done
+}
+
+func (w *watchdog) run() {
+	defer close(w.done)
+	// The watchdog borrows a pooled handle per tick rather than owning one:
+	// owning one would pin a hazard/epoch record for a goroutine that is
+	// idle 99.9% of the time, and the pool path is already leak-safe.
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case <-ticker.C:
+			w.check()
+		}
+	}
+}
+
+// check runs one inspection tick.
+func (w *watchdog) check() {
+	q := w.q
+	snap := q.tel.Snapshot()
+	tantrums := snap.EventCounts[core.EvRingTantrum]
+	appends := snap.EventCounts[core.EvRingAppend]
+	dequeues := snap.Counters.Dequeues
+	empty := snap.Counters.Empty
+	rejects := q.q.CapacityRejects()
+	stalls := q.q.EpochStalls()
+
+	dTantrums := tantrums - w.prevTantrums
+	dAppends := appends - w.prevAppends
+	// Completed dequeues = dequeue calls minus empty results: the measure
+	// of consumer progress the capacity rules need.
+	dTaken := (dequeues - w.prevDequeues) - (empty - w.prevEmpty)
+	dRejects := rejects - w.prevRejects
+	dStalls := stalls - w.prevStalls
+	w.prevTantrums, w.prevAppends = tantrums, appends
+	w.prevDequeues, w.prevEmpty = dequeues, empty
+	w.prevRejects, w.prevStalls = rejects, stalls
+
+	// Keep reclamation moving even when operation traffic (whose amortized
+	// schedule normally drives it) has stopped. Harmless outside epoch mode.
+	h := q.pool.Get().(*Handle)
+	q.q.KickReclaim(h.h)
+	q.pool.Put(h)
+
+	// A bounded queue spending consecutive ticks full with no consumer
+	// progress is stalled; a single full tick is just backpressure working.
+	if dRejects > 0 && dTaken == 0 {
+		w.fullTicks++
+	} else {
+		w.fullTicks = 0
+	}
+
+	verdict, detail := "ok", ""
+	switch {
+	case dTantrums >= wdTantrumStorm:
+		verdict = "tantrum-storm"
+		detail = fmt.Sprintf("%d tantrum ring closes in one %v interval", dTantrums, w.interval)
+	case dAppends >= wdAppendStorm && dTaken == 0:
+		verdict = "append-livelock"
+		detail = fmt.Sprintf("%d ring appends with no completed dequeues in one %v interval", dAppends, w.interval)
+	case w.fullTicks >= wdCapacityTicks:
+		verdict = "capacity-stall"
+		detail = fmt.Sprintf("queue full for %d consecutive intervals (%d rejects, 0 dequeues in the last)", w.fullTicks, dRejects)
+	case dStalls > 0:
+		verdict = "epoch-stall"
+		detail = fmt.Sprintf("%d reclamation participants declared stalled in one %v interval", dStalls, w.interval)
+	}
+
+	w.mu.Lock()
+	wasOK := w.health.OK
+	w.health = Health{
+		OK:        verdict == "ok",
+		Verdict:   verdict,
+		Detail:    detail,
+		Checks:    w.health.Checks + 1,
+		LastCheck: time.Now(),
+	}
+	w.mu.Unlock()
+	if wasOK && verdict != "ok" {
+		// Route the alert through the telemetry sink (the queue's Tap), so
+		// it lands in the event trace and counts like any lifecycle event.
+		q.tel.RingEvent(core.EvWatchdogAlert)
+	}
+}
+
+// snapshot returns the current verdict.
+func (w *watchdog) snapshot() Health {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.health
+}
+
+// Health returns the watchdog's current verdict. Without WithWatchdog the
+// verdict is "disabled" with OK true: no checker is running, so nothing has
+// been detected — it does not mean the queue was inspected and found
+// healthy.
+func (q *Queue) Health() Health {
+	if q.wd == nil {
+		return Health{OK: true, Verdict: "disabled"}
+	}
+	return q.wd.snapshot()
+}
