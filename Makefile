@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race purego chaos soak fuzz bench examples reproduce check clean
+.PHONY: all build vet test race purego chaos soak fuzz bench examples reproduce check clean lint crossarch
 
 all: check
 
@@ -12,6 +12,21 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lcrqlint: the repo's own go/analysis suite (align128, atomiconly,
+# padcheck, hotpath, statsmirror — see DESIGN.md §10). Runs standalone over
+# the non-test tree, then again as a go vet -vettool so test files are
+# covered too.
+lint:
+	$(GO) run ./cmd/lcrqlint ./...
+	$(GO) build -o $(CURDIR)/bin/lcrqlint ./cmd/lcrqlint
+	$(GO) vet -vettool=$(CURDIR)/bin/lcrqlint ./...
+
+# Cross-GOARCH compile checks: arm64 exercises the portable CAS2 fallback
+# path, 386 the 32-bit alignment rules align128 reasons about.
+crossarch:
+	GOARCH=arm64 $(GO) build ./...
+	GOARCH=386 $(GO) build ./...
 
 test:
 	$(GO) test ./...
@@ -68,7 +83,7 @@ modelcheck:
 	$(GO) run ./cmd/modelcheck -mutate empty -ops 2 || true
 	$(GO) run ./cmd/modelcheck -mutate idx -ops 2 || true
 
-check: build vet test race purego chaos
+check: build vet lint crossarch test race purego chaos
 
 clean:
 	$(GO) clean ./...

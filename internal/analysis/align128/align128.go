@@ -1,0 +1,227 @@
+// Package align128 verifies the alignment obligations of the repo's atomic
+// primitives at compile time.
+//
+// LOCK CMPXCHG16B faults unless its operand is 16-byte aligned, and the Go
+// compiler guarantees only 8-byte alignment for ordinary allocations, so
+// every atomic128.Uint128 that can reach CompareAndSwap must come from
+// atomic128.AlignedUint128s / AlignedSlice (DESIGN.md §10). The analyzer
+// enforces, using go/types layouts:
+//
+//  1. Every instantiation AlignedSlice[T] has unsafe.Sizeof(T) a non-zero
+//     multiple of 16, so base alignment implies element alignment (the
+//     runtime panic in AlignedSlice is the backstop for reflective misuse).
+//  2. Any struct embedding a Uint128 (directly or through arrays/structs)
+//     keeps it at a 16-byte-multiple offset and has total size a multiple
+//     of 16 — otherwise even slab-allocated containers would misalign it.
+//  3. Uint128 cells are not allocated outside the blessed path: new(T),
+//     make([]T, ...), composite literals, and plain var declarations of
+//     Uint128-bearing types are reported (test files are exempt — they may
+//     exercise the emulated CAS path, which tolerates any alignment).
+//  4. Struct fields of plain int64/uint64 that the package accesses through
+//     the sync/atomic old API sit at 8-byte-multiple offsets under 32-bit
+//     (GOARCH=386) layout rules, where the compiler aligns uint64 to only
+//     4 bytes and, unlike for atomic.Int64, makes no special guarantee.
+package align128
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"lcrq/internal/analysis/lintutil"
+	"lcrq/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "align128",
+	Doc:  "check 16-byte alignment obligations of atomic128.Uint128 and 32-bit alignment of old-API atomic fields",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == lintutil.AtomicPkgPath {
+		// The implementation package is the one place allowed to
+		// manufacture cells from raw memory.
+		return nil, nil
+	}
+
+	sizes := pass.TypesSizes
+	sizes32 := types.SizesFor("gc", "386")
+
+	for _, file := range pass.Files {
+		isTest := strings.HasSuffix(pass.Fset.File(file.Pos()).Name(), "_test.go")
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkAlignedSliceInst(pass, n, sizes)
+				checkAtomic64Offset32(pass, n, sizes32)
+				if !isTest {
+					checkAllocCall(pass, n)
+				}
+			case *ast.TypeSpec:
+				checkStructLayout(pass, n, sizes)
+			case *ast.CompositeLit:
+				if !isTest {
+					checkCompositeLit(pass, n)
+				}
+			case *ast.ValueSpec:
+				if !isTest {
+					checkValueSpec(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkAlignedSliceInst verifies rule 1: AlignedSlice[T] element sizes.
+func checkAlignedSliceInst(pass *analysis.Pass, call *ast.CallExpr, sizes types.Sizes) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr:
+		if sel, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		}
+	}
+	if id == nil || id.Name != "AlignedSlice" {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != lintutil.AtomicPkgPath {
+		return
+	}
+	inst, ok := pass.TypesInfo.Instances[id]
+	if !ok || inst.TypeArgs.Len() != 1 {
+		return
+	}
+	elem := inst.TypeArgs.At(0)
+	if size := sizes.Sizeof(elem); size == 0 || size%16 != 0 {
+		pass.Reportf(call.Pos(),
+			"AlignedSlice element type %s has size %d, not a non-zero multiple of 16; elements past the first will be misaligned for CMPXCHG16B",
+			elem, size)
+	}
+}
+
+// checkStructLayout verifies rule 2: Uint128 offsets inside struct types.
+func checkStructLayout(pass *analysis.Pass, spec *ast.TypeSpec, sizes types.Sizes) {
+	obj, ok := pass.TypesInfo.Defs[spec.Name]
+	if !ok || obj == nil {
+		return
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok || !lintutil.ContainsUint128(st) {
+		return
+	}
+	if size := sizes.Sizeof(st); size%16 != 0 {
+		pass.Reportf(spec.Pos(),
+			"struct %s embeds atomic128.Uint128 but its size %d is not a multiple of 16; slices of it cannot keep cells aligned",
+			spec.Name.Name, size)
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !lintutil.ContainsUint128(f.Type()) {
+			continue
+		}
+		if off := lintutil.FieldOffset(sizes, st, i); off%16 != 0 {
+			pass.Reportf(spec.Pos(),
+				"field %s.%s holds an atomic128.Uint128 at offset %d, not a multiple of 16; CMPXCHG16B requires 16-byte alignment",
+				spec.Name.Name, f.Name(), off)
+		}
+	}
+}
+
+// checkAllocCall verifies rule 3 for new(T) and make([]T, ...).
+func checkAllocCall(pass *analysis.Pass, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || (b.Name() != "new" && b.Name() != "make") {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(call.Args[0])
+	if t == nil {
+		return
+	}
+	// For new(T) the obligation is on T; for make([]T, n) on the element.
+	target := t
+	if s, ok := types.Unalias(t).(*types.Slice); ok {
+		target = s.Elem()
+	}
+	if lintutil.ContainsUint128(target) {
+		pass.Reportf(call.Pos(),
+			"%s allocates atomic128.Uint128 cells without alignment; use atomic128.AlignedUint128s or AlignedSlice", id.Name)
+	}
+}
+
+// checkCompositeLit verifies rule 3 for literal allocations.
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if s, ok := types.Unalias(t).(*types.Slice); ok {
+		t = s.Elem()
+	}
+	if lintutil.ContainsUint128(t) {
+		pass.Reportf(lit.Pos(),
+			"composite literal allocates atomic128.Uint128 cells without alignment; use atomic128.AlignedUint128s or AlignedSlice")
+	}
+}
+
+// checkValueSpec verifies rule 3 for var declarations.
+func checkValueSpec(pass *analysis.Pass, spec *ast.ValueSpec) {
+	for _, name := range spec.Names {
+		obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+		if !ok {
+			continue
+		}
+		if lintutil.ContainsUint128(obj.Type()) {
+			pass.Reportf(name.Pos(),
+				"variable %s allocates atomic128.Uint128 cells without alignment; use atomic128.AlignedUint128s or AlignedSlice", name.Name)
+		}
+	}
+}
+
+// checkAtomic64Offset32 verifies rule 4: 64-bit old-API atomic operands
+// must sit at 8-byte-multiple offsets under 386 layout.
+func checkAtomic64Offset32(pass *analysis.Pass, call *ast.CallExpr, sizes32 types.Sizes) {
+	operand, is64 := lintutil.AtomicCall(pass.TypesInfo, call)
+	if operand == nil || !is64 {
+		return
+	}
+	sel, ok := ast.Unparen(operand).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	// Walk the selection's field index path, accumulating the offset under
+	// 32-bit layout. Any 8-misaligned step is a fault on 386/arm.
+	recv := selection.Recv()
+	if p, ok := types.Unalias(recv).(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	var off int64
+	t := recv
+	for _, idx := range selection.Index() {
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			return
+		}
+		off += lintutil.FieldOffset(sizes32, st, idx)
+		t = st.Field(idx).Type()
+	}
+	if off%8 != 0 {
+		name := fmt.Sprintf("%s.%s", recv, sel.Sel.Name)
+		pass.Reportf(call.Pos(),
+			"atomic 64-bit operation on field %s at 32-bit offset %d; sync/atomic requires 8-byte alignment on 386/arm — make it the first field, pad it, or use atomic.Int64/Uint64",
+			name, off)
+	}
+}

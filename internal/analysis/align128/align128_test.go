@@ -1,0 +1,12 @@
+package align128_test
+
+import (
+	"testing"
+
+	"lcrq/internal/analysis/align128"
+	"lcrq/internal/lint/linttest"
+)
+
+func TestAlign128(t *testing.T) {
+	linttest.Run(t, align128.Analyzer, "align128test")
+}

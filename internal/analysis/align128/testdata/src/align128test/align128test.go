@@ -1,0 +1,84 @@
+// Package align128test is a lint fixture: deliberate violations of the
+// 16-byte alignment obligations the align128 analyzer enforces, plus
+// clean counterparts that must stay diagnostic-free.
+package align128test
+
+import (
+	"sync/atomic"
+
+	"lcrq/internal/atomic128"
+)
+
+// Bad embeds a Uint128 at a misaligned offset and has a size that breaks
+// slice element alignment.
+type Bad struct { // want `struct Bad embeds atomic128\.Uint128 but its size 24 is not a multiple of 16` `field Bad\.cell holds an atomic128\.Uint128 at offset 8, not a multiple of 16`
+	word uint64
+	cell atomic128.Uint128
+}
+
+// Good keeps the cell first and pads the tail to a 16-byte multiple.
+type Good struct {
+	cell atomic128.Uint128
+	word uint64
+	_    uint64
+}
+
+// global is a plainly allocated cell: only 8-byte alignment is guaranteed.
+var global atomic128.Uint128 // want `variable global allocates atomic128\.Uint128 cells without alignment`
+
+func alloc() (*atomic128.Uint128, []atomic128.Uint128) {
+	p := new(atomic128.Uint128)        // want `new allocates atomic128\.Uint128 cells without alignment`
+	s := make([]atomic128.Uint128, 4)  // want `make allocates atomic128\.Uint128 cells without alignment`
+	v := atomic128.Uint128{}           // want `composite literal allocates atomic128\.Uint128 cells without alignment`
+	ok := atomic128.AlignedUint128s(4) // the blessed allocation path
+	_, _ = v, ok
+	return p, s
+}
+
+// oddCell is 24 bytes: as an AlignedSlice element, every element past the
+// first would be misaligned.
+type oddCell struct {
+	a, b uint64
+	c    uint32
+}
+
+// evenCell is exactly 32 bytes.
+type evenCell struct {
+	cell atomic128.Uint128
+	seq  uint64
+	_    uint64
+}
+
+func slices() {
+	_ = atomic128.AlignedSlice[oddCell](4) // want `AlignedSlice element type align128test\.oddCell has size 24, not a non-zero multiple of 16`
+	_ = atomic128.AlignedSlice[evenCell](4)
+}
+
+// counters uses the old sync/atomic API on a field that 386 layout places
+// at offset 4.
+type counters struct {
+	flag uint32
+	hits uint64
+	ok   uint64
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1) // want `atomic 64-bit operation on field .*counters\.hits at 32-bit offset 4`
+}
+
+// bumpOK is clean only because 386 layout places ok at offset 12... which
+// is also misaligned; both fields are flagged, showing the walk reaches
+// every operand.
+func bumpOK(c *counters) {
+	atomic.AddUint64(&c.ok, 1) // want `atomic 64-bit operation on field .*counters\.ok at 32-bit offset 12`
+}
+
+// aligned64 keeps its 64-bit word first, the documented convention.
+type aligned64 struct {
+	hits uint64
+	flag uint32
+}
+
+func bumpAligned(c *aligned64) {
+	atomic.AddUint64(&c.hits, 1)
+}

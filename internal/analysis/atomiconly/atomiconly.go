@@ -1,0 +1,136 @@
+// Package atomiconly enforces that a word accessed through the sync/atomic
+// old API anywhere in a package is accessed that way everywhere in the
+// package.
+//
+// A field read with atomic.LoadUint64 in one function and with a plain load
+// in another compiles, passes tests under a cooperative scheduler, and is a
+// data race that -race only reports if the schedule cooperates. The typed
+// atomic.Uint64 wrappers make the mistake impossible (the word is
+// unexported), but code on the old API — including atomic128's cell halves
+// — has no such guard; this analyzer is that guard.
+//
+// Accesses are permitted in exactly three forms: as the &operand of a
+// sync/atomic call, as a composite-literal key during construction (a value
+// not yet shared cannot race), and anywhere inside a function annotated
+// //lcrq:exclusive, the repo's marker for single-threaded access windows
+// (initialization before publication, teardown after quiescence).
+package atomiconly
+
+import (
+	"go/ast"
+	"go/token"
+
+	"go/types"
+
+	"lcrq/internal/analysis/lintutil"
+	"lcrq/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiconly",
+	Doc:  "flag plain accesses to words that are accessed via sync/atomic elsewhere in the package",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	// Pass 1: collect every object used as a sync/atomic operand, and the
+	// exact selector/ident nodes through which those sanctioned accesses
+	// happen.
+	atomicObjs := make(map[types.Object]token.Pos) // object -> one atomic use site
+	sanctioned := make(map[ast.Expr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			operand, _ := lintutil.AtomicCall(pass.TypesInfo, call)
+			if operand == nil {
+				return true
+			}
+			operand = ast.Unparen(operand)
+			sanctioned[operand] = true
+			// &arr[i] sanctions this indexing expression; the array object
+			// itself is recorded so plain element accesses are caught too.
+			if ix, ok := operand.(*ast.IndexExpr); ok {
+				sanctioned[ast.Unparen(ix.X)] = true
+			}
+			if obj := lintutil.ExprObject(pass.TypesInfo, operand); obj != nil {
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return nil, nil
+	}
+
+	// Pass 2: every other use of those objects must be sanctioned.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok {
+				if _, exclusive := lintutil.FuncDirective(fn, "exclusive"); exclusive {
+					continue
+				}
+			}
+			checkDecl(pass, decl, atomicObjs, sanctioned)
+		}
+	}
+	return nil, nil
+}
+
+func checkDecl(pass *analysis.Pass, decl ast.Decl, atomicObjs map[types.Object]token.Pos, sanctioned map[ast.Expr]bool) {
+	ast.Inspect(decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case nil:
+			return false
+		case *ast.CompositeLit:
+			// Construction of a not-yet-shared value: keyed initialization
+			// of an atomic word is permitted.
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						sanctioned[id] = true
+					}
+				}
+			}
+			return true
+		case *ast.Ident, *ast.SelectorExpr:
+			e := n.(ast.Expr)
+			if sanctioned[e] {
+				return false
+			}
+			obj := useObject(pass.TypesInfo, e)
+			if obj == nil {
+				return true
+			}
+			if pos, isAtomic := atomicObjs[obj]; isAtomic {
+				pass.Reportf(n.Pos(),
+					"plain access to %s, which is accessed atomically at %s; use sync/atomic here or annotate the enclosing function //lcrq:exclusive",
+					obj.Name(), pass.Fset.Position(pos))
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// useObject resolves a use (not a definition) of an ident/selector to its
+// object. Selector resolution goes through Selections so that embedded and
+// promoted fields resolve to the same object the atomic pass recorded.
+func useObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[e]; ok {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomiconly_test
+
+import (
+	"testing"
+
+	"lcrq/internal/analysis/atomiconly"
+	"lcrq/internal/lint/linttest"
+)
+
+func TestAtomiconly(t *testing.T) {
+	linttest.Run(t, atomiconly.Analyzer, "atomiconlytest")
+}

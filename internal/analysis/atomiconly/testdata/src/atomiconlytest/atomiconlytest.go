@@ -1,0 +1,61 @@
+// Package atomiconlytest is a lint fixture: words accessed through
+// sync/atomic in one place and plainly in another, the mixed-mode race the
+// atomiconly analyzer rejects.
+package atomiconlytest
+
+import "sync/atomic"
+
+type gate struct {
+	state uint64
+	other uint64
+}
+
+func (g *gate) open() {
+	atomic.StoreUint64(&g.state, 1)
+}
+
+func (g *gate) isOpen() bool {
+	return g.state == 1 // want `plain access to state, which is accessed atomically at .*atomiconlytest\.go:\d+`
+}
+
+// touchOther only ever accesses other plainly, so it is not constrained.
+func (g *gate) touchOther() uint64 {
+	g.other++
+	return g.other
+}
+
+// reset runs in a single-threaded teardown window; the annotation
+// sanctions its plain writes.
+//
+//lcrq:exclusive
+func (g *gate) reset() {
+	g.state = 0
+}
+
+// newGate constructs a not-yet-shared value; keyed composite-literal
+// initialization is sanctioned.
+func newGate() *gate {
+	return &gate{state: 0}
+}
+
+var hits uint64
+
+func record() {
+	atomic.AddUint64(&hits, 1)
+}
+
+func snapshot() uint64 {
+	return hits // want `plain access to hits, which is accessed atomically at .*`
+}
+
+// slots shows array-element sanctioning: the atomic op on one element
+// marks the whole array, so a plain element read elsewhere is flagged.
+var slots [4]uint64
+
+func publish(i int, v uint64) {
+	atomic.StoreUint64(&slots[i], v)
+}
+
+func peek(i int) uint64 {
+	return slots[i] // want `plain access to slots, which is accessed atomically at .*`
+}

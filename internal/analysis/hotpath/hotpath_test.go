@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"lcrq/internal/analysis/hotpath"
+	"lcrq/internal/lint/linttest"
+)
+
+func TestHotpath(t *testing.T) {
+	linttest.Run(t, hotpath.Analyzer, "hotpathtest")
+}

@@ -1,0 +1,81 @@
+// Package hotpathtest is a lint fixture: allocation, blocking, and
+// scheduler operations inside //lcrq:hotpath functions, plus the same
+// operations in unannotated functions where they are fine.
+package hotpathtest
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+type pair struct{ a, b uint64 }
+
+type queue struct {
+	mu    sync.Mutex
+	items map[uint64]uint64
+	ch    chan uint64
+	buf   []uint64
+}
+
+// enqueue is annotated hot and commits every sin at once.
+//
+//lcrq:hotpath
+func (q *queue) enqueue(v uint64) {
+	q.mu.Lock()                 // want `sync\.Mutex\.Lock \(blocking/allocating\) in //lcrq:hotpath function enqueue`
+	buf := make([]uint64, 1)    // want `make \(allocation\)`
+	buf = append(buf, v)        // want `append \(allocation\)`
+	p := new(pair)              // want `new \(allocation\)`
+	lit := pair{a: v, b: v}     // want `composite literal \(allocation\)`
+	f := func() {}              // want `function literal \(closure allocation\)`
+	q.items[v] = v              // want `map write`
+	q.ch <- v                   // want `channel send`
+	time.Sleep(time.Nanosecond) // want `time\.Sleep`
+	runtime.Gosched()           // want `runtime\.Gosched`
+	go q.drain()                // want `go statement`
+	select {                    // want `select statement`
+	case w := <-q.ch: // want `channel receive`
+		_ = w
+	default:
+	}
+	q.mu.Unlock() // want `sync\.Mutex\.Unlock \(blocking/allocating\)`
+	_, _, _, _ = buf, p, lit, f
+}
+
+// label allocates through string concatenation.
+//
+//lcrq:hotpath
+func label(s string) string {
+	const prefix = "q:"
+	ok := prefix + "static" // constant concatenation is fine
+	_ = ok
+	return s + "!" // want `string concatenation \(allocation\)`
+}
+
+// fast is hot and clean: loads, stores, arithmetic, calls to annotated
+// helpers, defer, and panic are all allowed.
+//
+//lcrq:hotpath
+func (q *queue) fast(v uint64) uint64 {
+	if v == 0 {
+		panic("hotpathtest: zero value")
+	}
+	defer noteExit()
+	q.buf[0] = v
+	return q.buf[0] + step(v)
+}
+
+//lcrq:hotpath
+func step(v uint64) uint64 { return v + 1 }
+
+func noteExit() {}
+
+// drain is NOT annotated: the same operations draw no diagnostics here.
+func (q *queue) drain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.buf = append(q.buf, <-q.ch)
+	q.items[0] = 0
+	time.Sleep(time.Nanosecond)
+	runtime.Gosched()
+}

@@ -1,0 +1,222 @@
+// Package lintutil holds the small amount of machinery the lcrqlint
+// analyzers share: //lcrq: directive parsing, detection of sync/atomic
+// old-API call targets, and type queries against the repo's concurrency
+// primitives (atomic128.Uint128, the sync/atomic typed wrappers, the pad
+// fillers).
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicPkgPath is the import path of the double-width CAS package whose
+// cells carry the 16-byte alignment obligation.
+const AtomicPkgPath = "lcrq/internal/atomic128"
+
+// PadPkgPath is the import path of the cache-line padding package.
+const PadPkgPath = "lcrq/internal/pad"
+
+// Directive reports whether the comment group contains the //lcrq:<name>
+// directive and returns the remainder of that line (the directive's
+// argument, trimmed) if so. Directives follow the compiler's pragma shape:
+// they must start the comment with no space after the slashes.
+func Directive(doc *ast.CommentGroup, name string) (arg string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	prefix := "//lcrq:" + name
+	for _, c := range doc.List {
+		if c.Text == prefix {
+			return "", true
+		}
+		if rest, found := strings.CutPrefix(c.Text, prefix+" "); found {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// FuncDirective looks the directive up on a function declaration's doc
+// comment.
+func FuncDirective(fn *ast.FuncDecl, name string) (string, bool) {
+	return Directive(fn.Doc, name)
+}
+
+// FieldDirective looks the directive up on a struct field, accepting both
+// the doc comment above the field and the line comment after it.
+func FieldDirective(f *ast.Field, name string) bool {
+	if _, ok := Directive(f.Doc, name); ok {
+		return true
+	}
+	_, ok := Directive(f.Comment, name)
+	return ok
+}
+
+// IsPkgType reports whether t (after unwrapping aliases) is the named type
+// pkgPath.name.
+func IsPkgType(t types.Type, pkgPath, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsUint128 reports whether t is atomic128.Uint128.
+func IsUint128(t types.Type) bool { return IsPkgType(t, AtomicPkgPath, "Uint128") }
+
+// ContainsUint128 reports whether a value of type t directly embeds an
+// atomic128.Uint128 — as the type itself, an array element, or a struct
+// field, recursively. Indirections (pointers, slices, maps) do not count:
+// they do not constrain the container's own allocation.
+func ContainsUint128(t types.Type) bool {
+	switch t := types.Unalias(t).(type) {
+	case *types.Named:
+		if IsUint128(t) {
+			return true
+		}
+		return ContainsUint128(t.Underlying())
+	case *types.Array:
+		return ContainsUint128(t.Elem())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if ContainsUint128(t.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IsSyncAtomicType reports whether t is one of sync/atomic's typed
+// wrappers (atomic.Uint64, atomic.Pointer[T], ...).
+func IsSyncAtomicType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	switch obj.Name() {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+		return true
+	}
+	return false
+}
+
+// IsAtomicHot reports whether t is a type mutated through atomic
+// instructions: a sync/atomic typed wrapper, an atomic128.Uint128, or an
+// array of either. These are the fields padcheck treats as shared-mutable.
+func IsAtomicHot(t types.Type) bool {
+	switch t := types.Unalias(t).(type) {
+	case *types.Named:
+		if IsSyncAtomicType(t) || IsUint128(t) {
+			return true
+		}
+		return IsAtomicHot(t.Underlying())
+	case *types.Array:
+		return IsAtomicHot(t.Elem())
+	}
+	return false
+}
+
+// IsPadType reports whether t is a pad.Pad / pad.Line filler or a plain
+// byte array (the ad-hoc padding idiom `_ [N]byte`).
+func IsPadType(t types.Type) bool {
+	if IsPkgType(t, PadPkgPath, "Pad") || IsPkgType(t, PadPkgPath, "Line") {
+		return true
+	}
+	if arr, ok := types.Unalias(t).(*types.Array); ok {
+		if b, ok := types.Unalias(arr.Elem()).(*types.Basic); ok {
+			return b.Kind() == types.Byte || b.Kind() == types.Uint8
+		}
+	}
+	return false
+}
+
+// atomic64Funcs is the set of sync/atomic old-API functions operating on a
+// 64-bit word through a *int64/*uint64 first argument.
+var atomic64Funcs = map[string]bool{
+	"AddInt64": true, "AddUint64": true,
+	"LoadInt64": true, "LoadUint64": true,
+	"StoreInt64": true, "StoreUint64": true,
+	"SwapInt64": true, "SwapUint64": true,
+	"CompareAndSwapInt64": true, "CompareAndSwapUint64": true,
+	"AndInt64": true, "AndUint64": true,
+	"OrInt64": true, "OrUint64": true,
+}
+
+// atomicFuncs is every sync/atomic old-API function whose first argument
+// is the address of the word it operates on.
+var atomicFuncs = func() map[string]bool {
+	m := map[string]bool{}
+	for f := range atomic64Funcs {
+		m[f] = true
+		m[strings.Replace(f, "64", "32", 1)] = true
+	}
+	for _, f := range []string{
+		"AddUintptr", "LoadUintptr", "StoreUintptr", "SwapUintptr",
+		"CompareAndSwapUintptr", "AndUintptr", "OrUintptr",
+		"LoadPointer", "StorePointer", "SwapPointer", "CompareAndSwapPointer",
+	} {
+		m[f] = true
+	}
+	return m
+}()
+
+// AtomicCall matches a call to a sync/atomic old-API function and returns
+// the expression whose address is taken as the operand (the x in
+// atomic.AddUint64(&x, 1)), plus whether the function operates on a 64-bit
+// word. Returns nil if the call is not such an atomic operation.
+func AtomicCall(info *types.Info, call *ast.CallExpr) (operand ast.Expr, is64 bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, false
+	}
+	if !atomicFuncs[fn.Name()] {
+		return nil, false
+	}
+	addr, ok := call.Args[0].(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return nil, false
+	}
+	return addr.X, atomic64Funcs[fn.Name()]
+}
+
+// ExprObject resolves an identifier or field selector expression to the
+// types.Object (variable or field) it denotes, or nil.
+func ExprObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.IndexExpr:
+		// &arr[i]: attribute the access to the array variable/field.
+		return ExprObject(info, e.X)
+	}
+	return nil
+}
+
+// FieldOffset returns the byte offset of field index i of struct s under
+// the given sizes.
+func FieldOffset(sizes types.Sizes, s *types.Struct, i int) int64 {
+	fields := make([]*types.Var, s.NumFields())
+	for j := range fields {
+		fields[j] = s.Field(j)
+	}
+	return sizes.Offsetsof(fields)[i]
+}

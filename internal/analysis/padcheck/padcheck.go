@@ -1,0 +1,135 @@
+// Package padcheck verifies the cache-line layout of structs annotated
+// //lcrq:padded.
+//
+// The paper's F&A-over-CAS win assumes the CRQ head, tail, and next words
+// live on distinct cache lines; drop a pad field in a refactor and the
+// benchmarks quietly measure false sharing instead of the algorithm
+// (Morrison & Afek 2013 §4; SCQ/wCQ make the same layout load-bearing).
+// The analyzer computes field offsets with the target architecture's
+// types.Sizes and enforces, for every annotated struct:
+//
+//   - every atomically mutated field (sync/atomic typed wrappers,
+//     atomic128.Uint128, arrays of either) is HOT by default: it must not
+//     share a 64-byte line with any other atomic field;
+//   - fields annotated //lcrq:cold (slow-path gauges, close flags) may
+//     share lines with each other but never with a hot field;
+//   - padding (pad.Pad, pad.Line, byte arrays) and non-atomic fields are
+//     ignored — the latter are read-mostly configuration by repo
+//     convention, which the annotation's owner vouches for.
+package padcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"lcrq/internal/analysis/lintutil"
+	"lcrq/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "padcheck",
+	Doc:  "check that structs annotated //lcrq:padded keep hot atomic fields on private cache lines",
+	Run:  run,
+}
+
+// cacheLine is the unit of false sharing the check guards against. 64
+// bytes is the line size of every x86 part the paper targets; pad.Pad's
+// 128-byte stride is a prefetcher-conscious widening of the same rule.
+const cacheLine = 64
+
+type fieldInfo struct {
+	name  string
+	pos   ast.Node
+	cold  bool
+	first int64 // first cache line covered
+	last  int64 // last cache line covered
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if _, padded := lintutil.Directive(doc, "padded"); !padded {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					pass.Reportf(ts.Pos(), "//lcrq:padded annotation on %s, which is not a struct type", ts.Name.Name)
+					continue
+				}
+				checkStruct(pass, ts, st)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkStruct(pass *analysis.Pass, ts *ast.TypeSpec, st *ast.StructType) {
+	obj := pass.TypesInfo.Defs[ts.Name]
+	if obj == nil {
+		return
+	}
+	tst, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+
+	// Map syntax fields to type-checker fields so annotations line up with
+	// offsets. A syntax field with multiple names expands to several
+	// consecutive type fields.
+	var fields []fieldInfo
+	idx := 0
+	for _, f := range st.Fields.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1 // embedded field
+		}
+		for j := 0; j < n; j++ {
+			tf := tst.Field(idx)
+			off := lintutil.FieldOffset(pass.TypesSizes, tst, idx)
+			size := pass.TypesSizes.Sizeof(tf.Type())
+			idx++
+			if !lintutil.IsAtomicHot(tf.Type()) || lintutil.IsPadType(tf.Type()) {
+				continue
+			}
+			end := off
+			if size > 0 {
+				end = off + size - 1
+			}
+			fields = append(fields, fieldInfo{
+				name:  tf.Name(),
+				pos:   f,
+				cold:  lintutil.FieldDirective(f, "cold"),
+				first: off / cacheLine,
+				last:  end / cacheLine,
+			})
+		}
+	}
+
+	for i := 1; i < len(fields); i++ {
+		for j := 0; j < i; j++ {
+			a, b := fields[j], fields[i]
+			if a.last < b.first || b.last < a.first {
+				continue // disjoint line spans
+			}
+			if a.cold && b.cold {
+				continue // cold fields may share a line
+			}
+			pass.Reportf(b.pos.Pos(),
+				"%s.%s shares a %d-byte cache line with %s; hot atomic fields need a private line (insert pad.Pad/pad.Line or annotate both //lcrq:cold)",
+				ts.Name.Name, b.name, cacheLine, a.name)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package padcheck_test
+
+import (
+	"testing"
+
+	"lcrq/internal/analysis/padcheck"
+	"lcrq/internal/lint/linttest"
+)
+
+func TestPadcheck(t *testing.T) {
+	linttest.Run(t, padcheck.Analyzer, "padchecktest")
+}

@@ -1,0 +1,67 @@
+// Package padchecktest is a lint fixture: //lcrq:padded structs whose
+// cache-line layout violates the private-line rule, plus correct layouts
+// that must stay diagnostic-free.
+package padchecktest
+
+import (
+	"sync/atomic"
+
+	"lcrq/internal/atomic128"
+	"lcrq/internal/pad"
+)
+
+// ring forgot the pad between its two contended words.
+//
+//lcrq:padded
+type ring struct {
+	head atomic.Uint64
+	tail atomic.Uint64 // want `ring\.tail shares a 64-byte cache line with head`
+}
+
+// padded is the layout ring should have had.
+//
+//lcrq:padded
+type padded struct {
+	head atomic.Uint64
+	_    pad.Pad
+	tail atomic.Uint64
+	_    pad.Pad
+}
+
+// mixed pairs a hot word with a cold gauge on one line; cold may never
+// share with hot.
+//
+//lcrq:padded
+type mixed struct {
+	gauge atomic.Uint64 //lcrq:cold
+	hot   atomic.Uint64 // want `mixed\.hot shares a 64-byte cache line with gauge`
+	_     pad.Pad
+}
+
+// gauges shows that cold fields may share a line with each other, that
+// ad-hoc byte-array padding is recognized, and that plain (non-atomic)
+// fields are ignored.
+//
+//lcrq:padded
+type gauges struct {
+	hot atomic.Uint64
+	_   [56]byte
+	// cap is plain read-mostly configuration, invisible to the check.
+	cap  uint64
+	errs atomic.Uint64 //lcrq:cold
+	drop atomic.Uint64 //lcrq:cold
+}
+
+// wide shows an atomic128 cell being treated as hot.
+//
+//lcrq:padded
+type wide struct {
+	cell atomic128.Uint128
+	seq  atomic.Uint64 // want `wide\.seq shares a 64-byte cache line with cell`
+	_    [40]byte
+}
+
+// notAStruct cannot carry the annotation at all.
+//
+//lcrq:padded
+type notAStruct int // want `//lcrq:padded annotation on notAStruct, which is not a struct type`

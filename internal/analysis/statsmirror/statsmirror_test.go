@@ -1,0 +1,12 @@
+package statsmirror_test
+
+import (
+	"testing"
+
+	"lcrq/internal/analysis/statsmirror"
+	"lcrq/internal/lint/linttest"
+)
+
+func TestStatsmirror(t *testing.T) {
+	linttest.Run(t, statsmirror.Analyzer, "statsmirrortest")
+}

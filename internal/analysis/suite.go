@@ -1,0 +1,29 @@
+// Package analysis is lcrqlint's analyzer suite: the mechanical checks for
+// the concurrency invariants this repository otherwise enforces only by
+// convention. See DESIGN.md §10 for each invariant, its paper rationale,
+// and the //lcrq: annotation syntax the analyzers consume.
+//
+// The analyzers are written against the (vendored) golang.org/x/tools
+// go/analysis API — see internal/lint/analysis — and run both standalone
+// (go run ./cmd/lcrqlint ./...) and under go vet -vettool.
+package analysis
+
+import (
+	"lcrq/internal/analysis/align128"
+	"lcrq/internal/analysis/atomiconly"
+	"lcrq/internal/analysis/hotpath"
+	"lcrq/internal/analysis/padcheck"
+	"lcrq/internal/analysis/statsmirror"
+	"lcrq/internal/lint/analysis"
+)
+
+// All returns the full lcrqlint suite, in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		align128.Analyzer,
+		atomiconly.Analyzer,
+		padcheck.Analyzer,
+		hotpath.Analyzer,
+		statsmirror.Analyzer,
+	}
+}

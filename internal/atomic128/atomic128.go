@@ -32,22 +32,32 @@ type Uint128 struct {
 }
 
 // LoadLo atomically loads the low 64-bit half.
+//
+//lcrq:hotpath
 func (u *Uint128) LoadLo() uint64 { return atomic.LoadUint64(&u.lo) }
 
 // LoadHi atomically loads the high 64-bit half.
+//
+//lcrq:hotpath
 func (u *Uint128) LoadHi() uint64 { return atomic.LoadUint64(&u.hi) }
 
 // StoreLo atomically stores the low 64-bit half. It must not race with
 // CompareAndSwap on the fallback (non-amd64) implementation; in this
 // repository it is only used while initializing cells that are not yet
 // shared.
+//
+//lcrq:hotpath
 func (u *Uint128) StoreLo(v uint64) { atomic.StoreUint64(&u.lo, v) }
 
 // StoreHi atomically stores the high 64-bit half. Same caveat as StoreLo.
+//
+//lcrq:hotpath
 func (u *Uint128) StoreHi(v uint64) { atomic.StoreUint64(&u.hi, v) }
 
 // CompareAndSwap atomically replaces (lo,hi) with (newLo,newHi) if the cell
 // currently holds exactly (oldLo,oldHi), and reports whether it did.
+//
+//lcrq:hotpath
 func (u *Uint128) CompareAndSwap(oldLo, oldHi, newLo, newHi uint64) bool {
 	return cas128(u, oldLo, oldHi, newLo, newHi)
 }

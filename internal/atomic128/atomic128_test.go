@@ -8,6 +8,9 @@ import (
 	"unsafe"
 )
 
+// TestAlignedUint128sAlignment is the runtime backstop for the 16-byte
+// alignment invariant; the primary guard is lcrqlint's align128 analyzer,
+// which rejects unblessed Uint128 allocations at lint time.
 func TestAlignedUint128sAlignment(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 7, 64, 1023} {
 		s := AlignedUint128s(n)

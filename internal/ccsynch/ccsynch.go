@@ -41,6 +41,8 @@ type node struct {
 }
 
 // Synch is one CC-Synch instance protecting the object accessed by op.
+//
+//lcrq:padded
 type Synch struct {
 	tail atomic.Pointer[node]
 	_    pad.Line

@@ -23,7 +23,11 @@ const (
 // tantrum queue. Enqueue returns false once the ring has been closed; LCRQ
 // builds an unbounded queue by chaining CRQs.
 //
-// A CRQ must be created with NewCRQ.
+// A CRQ must be created with NewCRQ. The padcheck analyzer verifies the
+// paper's layout: head, tail, next, and cluster each own a false-sharing
+// range (§4: the F&A-over-CAS win evaporates if these words share lines).
+//
+//lcrq:padded
 type CRQ struct {
 	head atomic.Uint64
 	_    pad.Pad
@@ -64,6 +68,7 @@ func NewCRQ(cfg Config) *CRQ {
 	return q
 }
 
+//lcrq:hotpath
 func (q *CRQ) cell(i uint64) *atomic128.Uint128 {
 	return &q.slab[(i&q.mask)<<q.strideShift]
 }
@@ -100,6 +105,8 @@ func (q *CRQ) Closed() bool { return q.tail.Load()&closedBit != 0 }
 // the close in the lifecycle trace (full/helping close vs. tantrum); the
 // event fires only when this call performed the transition, so concurrent
 // closers do not flood the trace.
+//
+//lcrq:hotpath
 func (q *CRQ) closeRing(h *Handle, ev RingEvent) {
 	h.C.TAS++
 	h.C.Closes++
@@ -113,6 +120,8 @@ func (q *CRQ) closeRing(h *Handle, ev RingEvent) {
 // failure, unless the chaos layer forces the attempt to fail at injection
 // point p (in which case no hardware CAS is issued — indistinguishable, to
 // the caller, from losing the cell race to another thread).
+//
+//lcrq:hotpath
 func cas2(h *Handle, cell *atomic128.Uint128, p chaos.Point, oldLo, oldHi, newLo, newHi uint64) bool {
 	if chaos.Fire(p) {
 		h.C.CAS2Fail++
@@ -128,6 +137,8 @@ func cas2(h *Handle, cell *atomic128.Uint128, p chaos.Point, oldLo, oldHi, newLo
 
 // faaHead performs F&A(&head, 1), or its CAS-loop emulation in the
 // LCRQ-CAS variant.
+//
+//lcrq:hotpath
 func (q *CRQ) faaHead(h *Handle) uint64 {
 	if q.cfg.CASLoopFAA {
 		for {
@@ -145,6 +156,8 @@ func (q *CRQ) faaHead(h *Handle) uint64 {
 
 // faaTail performs F&A(&tail, 1) on all 64 bits (the closed bit rides
 // along, exactly as in Figure 3d line 84).
+//
+//lcrq:hotpath
 func (q *CRQ) faaTail(h *Handle) uint64 {
 	if q.cfg.CASLoopFAA {
 		for {
@@ -169,6 +182,8 @@ func (q *CRQ) faaTail(h *Handle) uint64 {
 // cell is safe or the matching dequeuer provably has not started
 // (head ≤ t). On failure the ring is closed if it appears full
 // (t − head ≥ R) or the thread is starving.
+//
+//lcrq:hotpath
 func (q *CRQ) Enqueue(h *Handle, v uint64) bool {
 	if v == Bottom {
 		panic("core: enqueue of reserved value Bottom")
@@ -290,6 +305,8 @@ func (q *CRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 // observe a full ring. The comparison uses the full 64-bit tail: once the
 // ring is closed the state no longer needs fixing, and head (< 2^63) can
 // never exceed a closed tail.
+//
+//lcrq:hotpath
 func (q *CRQ) fixState(h *Handle) {
 	for {
 		t := q.tail.Load()

@@ -21,6 +21,8 @@ const top = ^uint64(0) - 1
 // powerful correctness check.
 //
 // Values Bottom and Bottom-1 are reserved.
+//
+//lcrq:padded
 type IAQ struct {
 	head atomic.Uint64
 	_    pad.Pad
@@ -44,6 +46,8 @@ func (q *IAQ) Capacity() int { return len(q.cells) }
 // Enqueue appends v. It returns false when the backing array is exhausted
 // (the "infinite" part of the idealized algorithm runs out); this deviation
 // from Figure 2 is what makes the demo realizable.
+//
+//lcrq:hotpath
 func (q *IAQ) Enqueue(h *Handle, v uint64) bool {
 	if v == Bottom || v == top {
 		panic("core: enqueue of reserved value")
@@ -65,6 +69,8 @@ func (q *IAQ) Enqueue(h *Handle, v uint64) bool {
 
 // Dequeue removes and returns the oldest value; ok is false if the queue
 // is empty. Dequeuing from an exhausted queue keeps returning ok=false.
+//
+//lcrq:hotpath
 func (q *IAQ) Dequeue(h *Handle) (v uint64, ok bool) {
 	for {
 		h.C.FAA++

@@ -19,11 +19,27 @@ import (
 //
 // All operations require a *Handle obtained from NewHandle; a handle is
 // single-threaded state (hazard pointers, counters, cluster identity).
+//
+// The padcheck analyzer verifies the layout: head, tail, and the bounded-
+// mode items account are written on the operation path and own private
+// false-sharing ranges; the remaining atomics are slow-path gauges,
+// annotated //lcrq:cold, which may share lines with each other.
+//
+//lcrq:padded
 type LCRQ struct {
 	head atomic.Pointer[CRQ]
 	_    pad.Line
 	tail atomic.Pointer[CRQ]
 	_    pad.Line
+
+	// items is the exact number of accepted, not-yet-dequeued values on a
+	// bounded queue (cfg.Capacity > 0): one atomic add per enqueue AND per
+	// dequeue, by every thread — as hot as head and tail, so it gets the
+	// same private false-sharing range (found by padcheck: it previously
+	// shared a cache line with the slow-path gauges below, so every
+	// bounded-mode operation invalidated the line telemetry scrapes read).
+	items atomic.Int64
+	_     pad.Line
 
 	cfg  Config
 	dom  *hazard.Domain[CRQ]
@@ -33,29 +49,27 @@ type LCRQ struct {
 	// closed is set by Close. It lives off the hot cache lines: enqueuers
 	// only consult it on the ring-closed slow path, so an open queue never
 	// pays for the close feature.
-	closed atomic.Bool
+	closed atomic.Bool //lcrq:cold
 
 	// Telemetry gauges, touched only on the append/retire/recycle slow
 	// paths (never per operation): rings counts the segments currently
 	// linked in the list; recPuts/recGets count recycler round-trips, whose
 	// difference approximates the pool's population (the GC may drain
 	// sync.Pool entries, so it is an upper bound).
-	rings   atomic.Int64
-	recPuts atomic.Uint64
-	recGets atomic.Uint64
+	rings   atomic.Int64  //lcrq:cold
+	recPuts atomic.Uint64 //lcrq:cold
+	recGets atomic.Uint64 //lcrq:cold
 
-	// Bounded-mode accounting. items is the exact number of accepted,
-	// not-yet-dequeued values (maintained only when cfg.Capacity > 0: one
-	// atomic add per operation); rejects counts capacity rejections; full
-	// tracks whether the queue is in a "full episode" so the Tap sees one
-	// EvCapacityReject per episode rather than one per rejected poll.
-	items   atomic.Int64
-	rejects atomic.Uint64
-	full    atomic.Bool
+	// Bounded-mode rejection accounting: rejects counts capacity
+	// rejections; full tracks whether the queue is in a "full episode" so
+	// the Tap sees one EvCapacityReject per episode rather than one per
+	// rejected poll. Both are written only on the rejection slow path.
+	rejects atomic.Uint64 //lcrq:cold
+	full    atomic.Bool   //lcrq:cold
 
 	// orphans counts handles recovered by the leak finalizer (see
 	// recoveryGuard); stalls are counted by the epoch domain.
-	orphans atomic.Uint64
+	orphans atomic.Uint64 //lcrq:cold
 }
 
 // NewLCRQ returns an empty queue configured by cfg.
@@ -287,6 +301,8 @@ func (q *LCRQ) Enqueue(h *Handle, v uint64) bool {
 // Dequeuers are never gated, so the queue's op-wise nonblocking progress is
 // unchanged: some dequeue always completes in a bounded number of its own
 // steps, and every rejected enqueue completes (with EnqFull) immediately.
+//
+//lcrq:hotpath
 func (q *LCRQ) EnqueueStatus(h *Handle, v uint64) EnqStatus {
 	if v == Bottom {
 		panic("core: enqueue of reserved value Bottom")
@@ -378,7 +394,12 @@ func (q *LCRQ) KickReclaim(h *Handle) {
 }
 
 // enqueue is the core protocol loop of Figure 5, extended with the queue
-// close check (PR 1) and the ring budget gate (bounded mode).
+// close check (PR 1) and the ring budget gate (bounded mode). The
+// hotpath annotation tolerates the slow-path calls (newRing, taps) —
+// callees are checked under their own annotations — while pinning the
+// loop itself allocation- and blocking-free.
+//
+//lcrq:hotpath
 func (q *LCRQ) enqueue(h *Handle, v uint64) EnqStatus {
 	h.enter()
 	defer h.exit()
@@ -494,6 +515,8 @@ func (q *LCRQ) Closed() bool { return q.closed.Load() }
 // Dequeue call below) is the December 2013 correction: without it, an item
 // enqueued into the head CRQ after its drain but before the head swing
 // could be skipped, losing it.
+//
+//lcrq:hotpath
 func (q *LCRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 	h.enter()
 	defer h.exit()

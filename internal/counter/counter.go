@@ -55,6 +55,7 @@ func (r Result) String() string {
 	return s
 }
 
+//lcrq:padded
 type sharedCounter struct {
 	_ pad.Line
 	v atomic.Uint64

@@ -35,17 +35,19 @@ const (
 )
 
 // Domain groups participants reclaiming one family of *T nodes.
+//
+//lcrq:padded
 type Domain[T any] struct {
 	global  atomic.Uint64
 	_       pad.Line
-	records atomic.Pointer[Record[T]]
+	records atomic.Pointer[Record[T]] //lcrq:cold — mutated only on register/unregister
 
 	// Stall policy (SetStallPolicy): a pinned record lagging the global
 	// epoch for stallAge nanoseconds is declared stalled and excluded from
 	// blocking advancement. 0 disables detection.
 	stallAge int64
-	onStall  func() // stall-declaration callback (telemetry); may be nil
-	stalls   atomic.Uint64
+	onStall  func()        // stall-declaration callback (telemetry); may be nil
+	stalls   atomic.Uint64 //lcrq:cold — gauge, bumped only on stall declaration
 }
 
 // New returns an empty domain.

@@ -83,6 +83,8 @@ func (b *body) deq() (uint64, bool) {
 }
 
 // Queue is the flat-combining queue.
+//
+//lcrq:padded
 type Queue struct {
 	lock atomic.Uint32 // global combiner try-lock (test-and-test-and-set)
 	_    pad.Line

@@ -48,7 +48,11 @@ type Counters struct {
 	LockAcq      uint64 // lock acquisitions (blocking queues)
 }
 
-// Add accumulates o into c.
+// Add accumulates o into c. The mirror annotation makes lcrqlint's
+// statsmirror analyzer verify that no Counters field is dropped from the
+// sum; TestAddAccumulatesEveryField is the runtime backstop.
+//
+//lcrq:mirror Counters
 func (c *Counters) Add(o *Counters) {
 	c.Enqueues += o.Enqueues
 	c.Dequeues += o.Dequeues

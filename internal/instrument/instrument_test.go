@@ -9,7 +9,9 @@ import (
 
 func TestAddAccumulatesEveryField(t *testing.T) {
 	// Fill a Counters with distinct values per field via reflection so this
-	// test fails if a newly added field is forgotten in Add.
+	// test fails if a newly added field is forgotten in Add. The primary
+	// guard is lcrqlint's statsmirror analyzer (//lcrq:mirror Counters on
+	// Add); this is the runtime backstop.
 	mk := func(base uint64) *Counters {
 		c := &Counters{}
 		v := reflect.ValueOf(c).Elem()

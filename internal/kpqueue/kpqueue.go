@@ -40,6 +40,8 @@ type opDesc struct {
 
 // Queue is a wait-free MPMC FIFO queue for a fixed maximum number of
 // threads (handles).
+//
+//lcrq:padded
 type Queue struct {
 	head  atomic.Pointer[node]
 	_     pad.Line
@@ -51,6 +53,7 @@ type Queue struct {
 	nextTid int32
 }
 
+//lcrq:padded
 type paddedDesc struct {
 	d atomic.Pointer[opDesc]
 	_ pad.Line

@@ -1,0 +1,17 @@
+// Package analysis is a vendored copy of golang.org/x/tools/go/analysis —
+// the Analyzer/Pass/Diagnostic API that go vet's modular checkers are
+// written against.
+//
+// The copy is taken verbatim (analysis.go, diagnostic.go, validate.go) from
+// the Go toolchain's own vendored tree,
+// $GOROOT/src/cmd/vendor/golang.org/x/tools/go/analysis, so analyzers in
+// internal/analysis/... are source-compatible with the upstream API and
+// could be moved onto it unchanged if this module ever takes on the x/tools
+// dependency. Only the framework types are vendored; drivers (the package
+// loader, the go vet -vettool shim, and the analysistest-style harness)
+// are this repository's own: internal/lint/load, cmd/lcrqlint, and
+// internal/lint/linttest.
+//
+// The code is covered by the Go authors' BSD-style license, reproduced in
+// LICENSE in this directory.
+package analysis

@@ -1,0 +1,199 @@
+// Package linttest is a miniature analysistest for the lcrqlint suite: it
+// type-checks a fixture package from a testdata/src directory and compares
+// the diagnostics an analyzer produces against `// want "regexp"` comments
+// placed on the offending lines.
+//
+// The expectation syntax is the x/tools analysistest subset the suite
+// needs: one or more quoted or backquoted regular expressions after the
+// word "want", each of which must match exactly one diagnostic reported on
+// that line, and every diagnostic must be claimed by an expectation. A
+// want clause may follow another directive in the same line comment
+// (`//lcrq:cold // want "..."`).
+//
+// Fixtures are type-checked against the module's real export data (see
+// internal/lint/load), so they may import repo packages such as
+// lcrq/internal/atomic128 alongside the standard library.
+package linttest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"lcrq/internal/lint/analysis"
+	"lcrq/internal/lint/load"
+)
+
+var (
+	ctxMu  sync.Mutex
+	ctxs   = map[string]*load.Context{}
+	ctxErr = map[string]error{}
+)
+
+// contextFor returns a cached load.Context for the module rooted at dir.
+// Building one shells out to `go list -export -deps ./...`, so the result
+// is shared across every Run call in a test binary.
+func contextFor(modRoot string) (*load.Context, error) {
+	ctxMu.Lock()
+	defer ctxMu.Unlock()
+	if err, ok := ctxErr[modRoot]; ok {
+		return ctxs[modRoot], err
+	}
+	ctx, _, err := load.NewContext(modRoot, "./...")
+	ctxs[modRoot] = ctx
+	ctxErr[modRoot] = err
+	return ctx, err
+}
+
+// moduleRoot walks up from the current (test) directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// want is one expectation: a pattern that must match a diagnostic on its
+// line.
+type want struct {
+	pos     string // file:line, for error reporting
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantStart locates the expectation marker inside a comment: the word
+// "want" followed by a quoted or backquoted pattern, possibly after other
+// directive text.
+var wantStart = regexp.MustCompile("(?:^|[ \t/])want[ \t]+[\"`]")
+
+// Run type-checks testdata/src/<fixture> relative to the calling test's
+// directory, runs the single analyzer over it, and reports any mismatch
+// between diagnostics and want comments as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(cwd, "testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("no .go files in %s", dir)
+	}
+
+	modRoot, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := contextFor(modRoot)
+	if err != nil {
+		t.Fatalf("loading module export data: %v", err)
+	}
+	pkg, err := ctx.Check(fixture, files)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", fixture, err)
+	}
+
+	diags, err := load.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		if !claim(wants[key], d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", w.pos, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched expectation whose pattern matches msg.
+func claim(ws []*want, msg string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every want comment in the fixture, keyed by
+// file:line.
+func collectWants(t *testing.T, pkg *load.Package) map[string][]*want {
+	t.Helper()
+	wants := make(map[string][]*want)
+	for _, file := range pkg.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				loc := wantStart.FindStringIndex(c.Text)
+				if loc == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				rest := c.Text[loc[1]-1:] // starts at the opening quote
+				for {
+					rest = strings.TrimLeft(rest, " \t")
+					if rest == "" || (rest[0] != '"' && rest[0] != '`') {
+						break
+					}
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern: %s", pos, rest)
+						break
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: malformed want pattern %s: %v", pos, q, err)
+						break
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						break
+					}
+					wants[key] = append(wants[key], &want{pos: key, re: re})
+					rest = rest[len(q):]
+				}
+			}
+		}
+	}
+	return wants
+}

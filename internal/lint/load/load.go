@@ -1,0 +1,271 @@
+// Package load turns Go package patterns into fully type-checked syntax
+// trees for analyzers, using only the standard library and the go command.
+//
+// The usual driver for golang.org/x/tools/go/analysis analyzers is
+// go/packages, which this module deliberately does not depend on. Instead
+// the loader shells out to `go list -export -json -deps`, which makes the
+// go command compile every dependency into the build cache and report the
+// path of each package's export data file. Target packages (the non-DepOnly
+// listing roots) are then re-parsed from source and type-checked against
+// that export data, exactly as `go vet` does for its compilation units —
+// so analyzers see the same ASTs, type information, and sizes they would
+// under the upstream driver.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"lcrq/internal/lint/analysis"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+
+	Fset       *token.FileSet
+	Syntax     []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+}
+
+// ListedPackage is the subset of `go list -json` output the loader uses.
+type ListedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	Export     string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Context resolves imports against the export data of a module's full
+// dependency graph. A single Context may type-check many packages (the
+// driver's targets, or a test harness's fixture packages) against one
+// shared file set and importer cache.
+type Context struct {
+	Fset       *token.FileSet
+	exportFile map[string]string // import path -> export data file
+	importer   types.Importer
+}
+
+// NewContext lists patterns (with -deps, so the whole dependency graph
+// including the standard library is covered) in moduleDir and returns a
+// Context that can type-check source against the resulting export data.
+func NewContext(moduleDir string, patterns ...string) (*Context, []*ListedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	ctx := &Context{
+		Fset:       token.NewFileSet(),
+		exportFile: make(map[string]string),
+	}
+	var listed []*ListedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(ListedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			ctx.exportFile[lp.ImportPath] = lp.Export
+		}
+		listed = append(listed, lp)
+	}
+
+	ctx.importer = importer.ForCompiler(ctx.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := ctx.exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return ctx, listed, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers rely on
+// allocated, matching what go vet's unitchecker provides to a pass.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:        make(map[ast.Expr]types.TypeAndValue),
+		Defs:         make(map[*ast.Ident]types.Object),
+		Uses:         make(map[*ast.Ident]types.Object),
+		Implicits:    make(map[ast.Node]types.Object),
+		Instances:    make(map[*ast.Ident]types.Instance),
+		Scopes:       make(map[ast.Node]*types.Scope),
+		Selections:   make(map[*ast.SelectorExpr]*types.Selection),
+		FileVersions: make(map[*ast.File]string),
+	}
+}
+
+// Check parses the named files and type-checks them as package path using
+// the Context's export data for imports.
+func (c *Context) Check(path string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(c.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := NewInfo()
+	tc := &types.Config{
+		Importer: c.importer,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := tc.Check(path, c.Fset, syntax, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: path,
+		GoFiles:    files,
+		Fset:       c.Fset,
+		Syntax:     syntax,
+		Types:      pkg,
+		TypesInfo:  info,
+		TypesSizes: tc.Sizes,
+	}, nil
+}
+
+// Load lists patterns in moduleDir and type-checks every matched (root,
+// non-standard-library) package from source. Test files are not analyzed;
+// `go vet -vettool` covers those compilation units.
+func Load(moduleDir string, patterns ...string) ([]*Package, error) {
+	ctx, listed, err := NewContext(moduleDir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := ctx.Check(lp.ImportPath, files)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		pkg.Dir = lp.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Diagnostic is one analyzer finding, with its position resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// RunAnalyzers runs each analyzer over pkg and returns the combined
+// diagnostics sorted by position. Analyzer dependencies (Requires) are
+// executed first and their results made available via ResultOf; facts are
+// not supported (no analyzer in this module uses them).
+func RunAnalyzers(pkg *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	results := make(map[*analysis.Analyzer]interface{})
+
+	var exec func(a *analysis.Analyzer) error
+	executed := make(map[*analysis.Analyzer]bool)
+	exec = func(a *analysis.Analyzer) error {
+		if executed[a] {
+			return nil
+		}
+		executed[a] = true
+		for _, req := range a.Requires {
+			if err := exec(req); err != nil {
+				return err
+			}
+		}
+		inputs := make(map[*analysis.Analyzer]interface{})
+		for _, req := range a.Requires {
+			inputs[req] = results[req]
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Syntax,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			TypesSizes: pkg.TypesSizes,
+			ResultOf:   inputs,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, Diagnostic{
+					Analyzer: a.Name,
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			},
+			ReadFile:          os.ReadFile,
+			ImportObjectFact:  func(obj types.Object, fact analysis.Fact) bool { return false },
+			ExportObjectFact:  func(obj types.Object, fact analysis.Fact) {},
+			ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool { return false },
+			ExportPackageFact: func(fact analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+		results[a] = res
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := exec(a); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		di, dj := diags[i], diags[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		return di.Message < dj.Message
+	})
+	return diags, nil
+}

@@ -28,6 +28,8 @@ type Handle struct {
 
 // Queue is the nonblocking MS queue. Safe for concurrent use; create with
 // New.
+//
+//lcrq:padded
 type Queue struct {
 	head atomic.Pointer[node]
 	_    pad.Line

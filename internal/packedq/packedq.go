@@ -80,6 +80,8 @@ type cell struct {
 }
 
 // PCRQ is the packed single-word-cell ring: a tantrum queue like core.CRQ.
+//
+//lcrq:padded
 type PCRQ struct {
 	head atomic.Uint64
 	_    pad.Pad
@@ -237,6 +239,8 @@ func (q *PCRQ) fixState(h *instrument.Counters) {
 // Queue is the packed LCRQ: a list of PCRQs. Retired rings are left to the
 // garbage collector (no hazard pointers are needed for safety in Go, and
 // the portable variant favors simplicity over ring reuse).
+//
+//lcrq:padded
 type Queue struct {
 	head  atomic.Pointer[PCRQ]
 	_     pad.Line

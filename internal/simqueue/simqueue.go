@@ -52,6 +52,8 @@ type node struct {
 // with the owner announcing its next request; the stale combiner's CAS is
 // doomed (the state pointer has moved), so the value it read is never
 // used, but the access itself must still be race-free.
+//
+//lcrq:padded
 type announce struct {
 	val atomic.Uint64 // enqueue value (enqueue side)
 	_   pad.Line
@@ -76,6 +78,8 @@ type deqState struct {
 }
 
 // Queue is a SimQueue. Create with New; obtain at most MaxHandles handles.
+//
+//lcrq:padded
 type Queue struct {
 	enqToggles atomic.Uint64
 	_          pad.Line

@@ -5,8 +5,9 @@ import "lcrq/internal/instrument"
 // Stats is a snapshot of per-handle operation statistics, mirroring the
 // quantities reported in Tables 2 and 3 of the paper. Every counter of the
 // internal instrumentation layer is represented, so a public snapshot
-// carries the same information the bench harness aggregates (a test
-// enforces the field coverage by reflection).
+// carries the same information the bench harness aggregates (the
+// statsmirror analyzer enforces the field coverage at lint time, and
+// TestStatsCoversAllCounters keeps a runtime backstop).
 type Stats struct {
 	Enqueues uint64 // completed enqueue operations
 	Dequeues uint64 // completed dequeue operations (including empty results)
@@ -35,6 +36,11 @@ type Stats struct {
 	LockAcquisitions uint64 // lock acquisitions (blocking queues)
 }
 
+// statsFromCounters transcribes every internal counter into the public
+// snapshot; the annotation makes lcrqlint's statsmirror analyzer fail the
+// build-gate if a Counters field is added without being plumbed through.
+//
+//lcrq:mirror lcrq/internal/instrument.Counters
 func statsFromCounters(c *instrument.Counters) Stats {
 	return Stats{
 		Enqueues:          c.Enqueues,
@@ -62,7 +68,10 @@ func statsFromCounters(c *instrument.Counters) Stats {
 }
 
 // Add returns the field-wise sum of s and o (AtomicsPerOp is recomputed as
-// a weighted average).
+// a weighted average). The mirror annotation makes the statsmirror
+// analyzer verify no Stats field is dropped from the sum.
+//
+//lcrq:mirror Stats
 func (s Stats) Add(o Stats) Stats {
 	ops := s.Enqueues + s.Dequeues + o.Enqueues + o.Dequeues
 	var apo float64

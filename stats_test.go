@@ -11,6 +11,12 @@ import (
 // distinct value and checks that each value surfaces in the public Stats
 // snapshot, so adding a counter without plumbing it through
 // statsFromCounters fails here instead of silently dropping data.
+//
+// This is the one runtime backstop for the mirror invariant; the primary
+// guard is lcrqlint's statsmirror analyzer, driven by the //lcrq:mirror
+// annotations in stats.go. (A second reflection test for Stats.Add was
+// deleted in favor of the analyzer, which pinpoints the missing field at
+// lint time.)
 func TestStatsCoversAllCounters(t *testing.T) {
 	c := &instrument.Counters{}
 	cv := reflect.ValueOf(c).Elem()
@@ -40,34 +46,5 @@ func TestStatsCoversAllCounters(t *testing.T) {
 	if uintFields != len(want) {
 		t.Errorf("Stats has %d uint64 fields for %d counters; fields must map 1:1",
 			uintFields, len(want))
-	}
-}
-
-// TestStatsAddCoversAllFields sums two reflectively filled Stats and checks
-// every uint64 field was accumulated, so Add cannot silently forget a newly
-// added field.
-func TestStatsAddCoversAllFields(t *testing.T) {
-	mk := func(base uint64) Stats {
-		var s Stats
-		v := reflect.ValueOf(&s).Elem()
-		for i := 0; i < v.NumField(); i++ {
-			if v.Field(i).Kind() == reflect.Uint64 {
-				v.Field(i).SetUint(base + uint64(i))
-			}
-		}
-		return s
-	}
-	a, b := mk(100), mk(10000)
-	sum := a.Add(b)
-	v := reflect.ValueOf(sum)
-	for i := 0; i < v.NumField(); i++ {
-		if v.Field(i).Kind() != reflect.Uint64 {
-			continue
-		}
-		want := 100 + 10000 + 2*uint64(i)
-		if got := v.Field(i).Uint(); got != want {
-			t.Errorf("Add dropped Stats.%s: got %d, want %d",
-				v.Type().Field(i).Name, got, want)
-		}
 	}
 }
