@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race purego chaos soak fuzz bench examples reproduce check clean lint crossarch
+.PHONY: all build vet test race purego chaos soak fuzz bench batchbench examples reproduce check clean lint crossarch
 
 all: check
 
@@ -60,6 +60,11 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Batched-operation study: throughput and F&A amortization for
+# EnqueueBatch/DequeueBatch block sizes 1..64, with a JSON sidecar.
+batchbench:
+	$(GO) run ./cmd/qbench -batch 64 -metrics BENCH_batch.json
 
 examples:
 	$(GO) run ./examples/quickstart

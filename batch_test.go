@@ -1,0 +1,169 @@
+package lcrq
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestBatchRoundTrip exercises the public batch API end to end: a handle
+// batch enqueue followed by a pooled batch dequeue must preserve FIFO order
+// and accept/return exact counts.
+func TestBatchRoundTrip(t *testing.T) {
+	q := New()
+	h := q.NewHandle()
+	defer h.Release()
+
+	vs := make([]uint64, 100)
+	for i := range vs {
+		vs[i] = uint64(i) + 1
+	}
+	if n, err := h.EnqueueBatch(vs); n != len(vs) || err != nil {
+		t.Fatalf("EnqueueBatch = (%d, %v), want (%d, nil)", n, err, len(vs))
+	}
+
+	// Pooled facade drains in chunks; order across chunks must hold.
+	out := make([]uint64, 7)
+	var got []uint64
+	for {
+		n := q.DequeueBatch(out)
+		if n == 0 {
+			break
+		}
+		got = append(got, out[:n]...)
+	}
+	if len(got) != len(vs) {
+		t.Fatalf("drained %d values, want %d", len(got), len(vs))
+	}
+	for i, v := range got {
+		if v != vs[i] {
+			t.Fatalf("FIFO violated at %d: got %d, want %d", i, v, vs[i])
+		}
+	}
+	if n, err := q.EnqueueBatch(vs[:3]); n != 3 || err != nil {
+		t.Fatalf("pooled EnqueueBatch = (%d, %v), want (3, nil)", n, err)
+	}
+	if n := h.DequeueBatch(out); n != 3 {
+		t.Fatalf("handle DequeueBatch = %d, want 3", n)
+	}
+}
+
+// TestBatchBoundedAndClosedErrors pins the batch error contract: a bounded
+// queue accepts a clean prefix and reports ErrFull for the remainder, and a
+// closed queue reports ErrClosed with nothing accepted.
+func TestBatchBoundedAndClosedErrors(t *testing.T) {
+	q := New(WithCapacity(4))
+	h := q.NewHandle()
+	defer h.Release()
+
+	vs := []uint64{1, 2, 3, 4, 5, 6, 7}
+	n, err := h.EnqueueBatch(vs)
+	if n != 4 || err != ErrFull {
+		t.Fatalf("EnqueueBatch over capacity = (%d, %v), want (4, ErrFull)", n, err)
+	}
+	out := make([]uint64, 8)
+	if got := h.DequeueBatch(out); got != 4 {
+		t.Fatalf("DequeueBatch = %d, want 4", got)
+	}
+	for i, v := range out[:4] {
+		if v != vs[i] {
+			t.Fatalf("accepted prefix wrong at %d: got %d, want %d", i, v, vs[i])
+		}
+	}
+
+	q.Close()
+	if n, err := h.EnqueueBatch(vs); n != 0 || err != ErrClosed {
+		t.Fatalf("EnqueueBatch after Close = (%d, %v), want (0, ErrClosed)", n, err)
+	}
+	if n := h.DequeueBatch(out); n != 0 {
+		t.Fatalf("DequeueBatch on closed empty queue = %d, want 0", n)
+	}
+}
+
+// TestTypedBatch covers the generic facade: batch round trips with real Go
+// values, and — on a bounded queue — partial acceptance must recycle the
+// unused arena slots so later operations still find free slots and never
+// see stale values.
+func TestTypedBatch(t *testing.T) {
+	q := NewTyped[string](WithCapacity(2))
+	h := q.NewHandle()
+	defer h.Release()
+
+	n, err := h.EnqueueBatch([]string{"a", "b", "c", "d"})
+	if n != 2 || err != ErrFull {
+		t.Fatalf("typed EnqueueBatch = (%d, %v), want (2, ErrFull)", n, err)
+	}
+	out := make([]string, 4)
+	if got := h.DequeueBatch(out); got != 2 || out[0] != "a" || out[1] != "b" {
+		t.Fatalf("typed DequeueBatch = %d %q, want 2 [a b]", n, out[:2])
+	}
+
+	// The two rejected slots must have been recycled: the capacity-2 arena
+	// can keep cycling full batches indefinitely without growing.
+	for round := 0; round < 100; round++ {
+		if n, err := h.EnqueueBatch([]string{"x", "y"}); n != 2 || err != nil {
+			t.Fatalf("round %d: EnqueueBatch = (%d, %v), want (2, nil)", round, n, err)
+		}
+		if got := h.DequeueBatch(out); got != 2 || out[0] != "x" || out[1] != "y" {
+			t.Fatalf("round %d: DequeueBatch = %d %q", round, got, out[:2])
+		}
+	}
+
+	if n, err := q.EnqueueBatch([]string{"p"}); n != 1 || err != nil {
+		t.Fatalf("pooled typed EnqueueBatch = (%d, %v), want (1, nil)", n, err)
+	}
+	if got := q.DequeueBatch(out); got != 1 || out[0] != "p" {
+		t.Fatalf("pooled typed DequeueBatch = %d %q, want 1 [p]", got, out[:1])
+	}
+}
+
+// TestBatchTelemetry verifies the observability chain for batch operations:
+// core counters surface through Stats, the batch-size histograms surface
+// through Metrics, and both reach the Prometheus endpoint.
+func TestBatchTelemetry(t *testing.T) {
+	q := New(WithTelemetry())
+	h := q.NewHandle()
+	vs := make([]uint64, 16)
+	for i := range vs {
+		vs[i] = uint64(i) + 1
+	}
+	out := make([]uint64, 16)
+	for round := 0; round < 64; round++ {
+		if n, err := h.EnqueueBatch(vs); n != len(vs) || err != nil {
+			t.Fatalf("EnqueueBatch = (%d, %v)", n, err)
+		}
+		if n := h.DequeueBatch(out); n != len(vs) {
+			t.Fatalf("DequeueBatch = %d, want %d", n, len(vs))
+		}
+	}
+	h.Release() // folds the handle's counters into the aggregate
+
+	m := q.Metrics()
+	if m.Stats.BatchEnqueues == 0 || m.Stats.BatchDequeues == 0 {
+		t.Fatalf("batch counters missing from Stats: %+v", m.Stats)
+	}
+	if m.Stats.Enqueues < 64*16 {
+		t.Fatalf("constituent items not counted: Enqueues = %d", m.Stats.Enqueues)
+	}
+	if m.EnqueueBatch.Batches == 0 || m.EnqueueBatch.Items == 0 {
+		t.Fatalf("EnqueueBatch summary empty: %+v", m.EnqueueBatch)
+	}
+	if m.DequeueBatch.Batches == 0 || m.DequeueBatch.P50 == 0 {
+		t.Fatalf("DequeueBatch summary empty: %+v", m.DequeueBatch)
+	}
+
+	rec := httptest.NewRecorder()
+	q.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, series := range []string{
+		"lcrq_batch_enqueues_total",
+		"lcrq_batch_dequeues_total",
+		"lcrq_batch_spills_total",
+		"lcrq_gate_spins_total",
+		"lcrq_batch_size",
+	} {
+		if !strings.Contains(body, series) {
+			t.Fatalf("Prometheus output missing %s:\n%s", series, body)
+		}
+	}
+}

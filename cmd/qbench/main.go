@@ -10,6 +10,7 @@
 //	qbench -fig 8a                  # latency CDF
 //	qbench -list                    # what can be regenerated
 //	qbench -queues lcrq,ms-queue -threads 1,2,4 -pairs 50000   # custom sweep
+//	qbench -batch 64 -metrics BENCH_batch.json  # batched-operation study
 //
 // Flags -pairs, -runs, -maxthreads, and -ring scale any experiment; -csv
 // switches figure output to CSV; -chart adds an ASCII chart; -metrics PATH
@@ -58,6 +59,7 @@ func main() {
 		metricsOut = flag.String("metrics", "", "also write results as a JSON sidecar to this path")
 		capacity   = flag.Int64("capacity", 0, "governed run: bound the LCRQ family to this many in-flight items (0 = unbounded)")
 		watchdog   = flag.Duration("watchdog", 0, "governed run: sample budget health at this interval and report verdicts (0 = off)")
+		batch      = flag.Int("batch", 0, "batch study: sweep EnqueueBatch/DequeueBatch block sizes up to N (0 = off)")
 	)
 	flag.Parse()
 
@@ -99,6 +101,10 @@ func main() {
 			}
 		} else {
 			render.Table(os.Stdout, res)
+		}
+	case *batch > 0:
+		if err := runBatch(*batch, *queuesFlag, *threadsF, sc, mode); err != nil {
+			fatal(err)
 		}
 	case *queuesFlag != "":
 		if err := runCustom(*queuesFlag, *threadsF, *prefill, *enqRatio, sc, mode); err != nil {
@@ -193,6 +199,50 @@ func runFigure(id string, sc harness.Scale, mode outputMode) error {
 		return nil
 	}
 	return fmt.Errorf("unknown figure %q; try -list", id)
+}
+
+// runBatch sweeps EnqueueBatch/DequeueBatch block sizes 1, 4, 16, 64
+// clipped to maxK (maxK itself is added when it falls between the standard
+// points), comparing item throughput and F&A amortization against the k=1
+// baseline.
+func runBatch(maxK int, queuesCSV, threadsCSV string, sc harness.Scale, mode outputMode) error {
+	spec := harness.BatchSweep()
+	if queuesCSV != "" {
+		spec.Queue = strings.Split(queuesCSV, ",")[0]
+	}
+	if threadsCSV != "" {
+		for _, t := range strings.Split(threadsCSV, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(t))
+			if err != nil || v < 1 {
+				return fmt.Errorf("bad thread count %q", t)
+			}
+			if v > spec.Threads {
+				spec.Threads = v
+			}
+		}
+	}
+	var sizes []int
+	for _, k := range spec.Sizes {
+		if k <= maxK {
+			sizes = append(sizes, k)
+		}
+	}
+	if len(sizes) == 0 || sizes[len(sizes)-1] != maxK {
+		sizes = append(sizes, maxK)
+	}
+	spec.Sizes = sizes
+	res, err := harness.RunBatchSweep(spec, sc)
+	if err != nil {
+		return err
+	}
+	if err := mode.sidecar(func(w io.Writer) error { return render.JSONBatchSweep(w, res) }); err != nil {
+		return err
+	}
+	if mode.json {
+		return render.JSONBatchSweep(os.Stdout, res)
+	}
+	render.BatchSweep(os.Stdout, res)
+	return nil
 }
 
 func runCustom(queuesCSV, threadsCSV string, prefill int, enqRatio float64, sc harness.Scale, mode outputMode) error {

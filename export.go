@@ -84,6 +84,10 @@ func writeProm(b *strings.Builder, m Metrics) {
 	counter("lcrq_ring_closes_total", "Ring segments closed.", s.RingCloses)
 	counter("lcrq_ring_appends_total", "Ring segments appended to the list.", s.RingAppends)
 	counter("lcrq_ring_recycles_total", "Appended segments satisfied from the recycler.", s.RingRecycles)
+	counter("lcrq_batch_enqueues_total", "EnqueueBatch calls (items count in lcrq_enqueues_total).", s.BatchEnqueues)
+	counter("lcrq_batch_dequeues_total", "DequeueBatch calls (items count in lcrq_dequeues_total).", s.BatchDequeues)
+	counter("lcrq_batch_spills_total", "Batches that spilled into a freshly appended ring.", s.BatchSpills)
+	counter("lcrq_gate_spins_total", "Hierarchical cluster-gate spin iterations.", s.GateSpins)
 
 	if len(m.RingEvents) > 0 {
 		fmt.Fprintf(b, "# HELP lcrq_ring_events_total Ring-lifecycle transitions by event.\n# TYPE lcrq_ring_events_total counter\n")
@@ -121,6 +125,27 @@ func writeProm(b *strings.Builder, m Metrics) {
 		sum := float64(series.lat.Mean.Seconds()) * float64(series.lat.Samples)
 		fmt.Fprintf(b, "lcrq_op_latency_seconds_sum{op=%q} %g\n", series.op, sum)
 		fmt.Fprintf(b, "lcrq_op_latency_seconds_count{op=%q} %d\n", series.op, series.lat.Samples)
+	}
+
+	fmt.Fprintf(b, "# HELP lcrq_batch_size Accepted batch sizes by op (items; _sum is items, _count is batches).\n# TYPE lcrq_batch_size summary\n")
+	for _, series := range []struct {
+		op string
+		bs BatchSummary
+	}{
+		{"enqueue_batch", m.EnqueueBatch},
+		{"dequeue_batch", m.DequeueBatch},
+	} {
+		for _, qv := range []struct {
+			q string
+			v int64
+		}{
+			{"0.5", series.bs.P50},
+			{"0.99", series.bs.P99},
+		} {
+			fmt.Fprintf(b, "lcrq_batch_size{op=%q,quantile=%q} %d\n", series.op, qv.q, qv.v)
+		}
+		fmt.Fprintf(b, "lcrq_batch_size_sum{op=%q} %d\n", series.op, series.bs.Items)
+		fmt.Fprintf(b, "lcrq_batch_size_count{op=%q} %d\n", series.op, series.bs.Batches)
 	}
 }
 

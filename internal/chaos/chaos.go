@@ -80,6 +80,16 @@ const (
 	// lagging pinned record is declared stalled-by-policy and excluded from
 	// blocking advancement, just before the forced advance proceeds.
 	StallScan
+	// BatchEnqReserve yields inside the batched-enqueue reservation window:
+	// after the single tail F&A has claimed a block of consecutive indices
+	// but before any cell of the block is filled — the window in which
+	// dequeuers and ring closers race the whole reservation at once.
+	BatchEnqReserve
+	// BatchDeqReserve yields inside the batched-dequeue reservation window:
+	// after the single head F&A has claimed a block of indices but before
+	// the per-cell protocol runs, widening the race against enqueuers still
+	// depositing and against ring retirement.
+	BatchDeqReserve
 
 	// NumPoints is the number of injection points; it is not itself a
 	// point.
@@ -99,6 +109,9 @@ var pointNames = [NumPoints]string{
 	CapacityGate: "capacity-gate",
 	EnqWait:      "enq-wait",
 	StallScan:    "stall-scan",
+
+	BatchEnqReserve: "batch-enq-reserve",
+	BatchDeqReserve: "batch-deq-reserve",
 }
 
 // String returns the point's stable name, as used in docs and test output.

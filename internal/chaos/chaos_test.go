@@ -18,6 +18,9 @@ func TestPointNames(t *testing.T) {
 		CapacityGate: "capacity-gate",
 		EnqWait:      "enq-wait",
 		StallScan:    "stall-scan",
+
+		BatchEnqReserve: "batch-enq-reserve",
+		BatchDeqReserve: "batch-deq-reserve",
 	}
 	if len(want) != int(NumPoints) {
 		t.Fatalf("test covers %d points, NumPoints = %d", len(want), NumPoints)

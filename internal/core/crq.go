@@ -173,6 +173,46 @@ func (q *CRQ) faaTail(h *Handle) uint64 {
 	return q.tail.Add(1) - 1
 }
 
+// faaHeadN reserves k consecutive dequeue indices with one F&A(&head, k)
+// (or its CAS-loop emulation), returning the first. This is the batching
+// analogue of faaHead: the hot-line RMW is paid once per batch.
+//
+//lcrq:hotpath
+func (q *CRQ) faaHeadN(h *Handle, k uint64) uint64 {
+	if q.cfg.CASLoopFAA {
+		for {
+			old := q.head.Load()
+			h.C.CAS++
+			if q.head.CompareAndSwap(old, old+k) {
+				return old
+			}
+			h.C.CASFail++
+		}
+	}
+	h.C.FAA++
+	return q.head.Add(k) - k
+}
+
+// faaTailN reserves k consecutive enqueue indices with one F&A(&tail, k),
+// returning the first. As with faaTail the closed bit rides along: a
+// reservation on a closed ring returns it set and deposits nothing.
+//
+//lcrq:hotpath
+func (q *CRQ) faaTailN(h *Handle, k uint64) uint64 {
+	if q.cfg.CASLoopFAA {
+		for {
+			old := q.tail.Load()
+			h.C.CAS++
+			if q.tail.CompareAndSwap(old, old+k) {
+				return old
+			}
+			h.C.CASFail++
+		}
+	}
+	h.C.FAA++
+	return q.tail.Add(k) - k
+}
+
 // Enqueue attempts to append v to the ring. It returns false if the ring is
 // (or becomes) CLOSED, in which case v was not enqueued. v must not be
 // Bottom.
@@ -298,6 +338,191 @@ func (q *CRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 		}
 		h.C.CellRetries++
 	}
+}
+
+// EnqueueBatch appends the values of vs, in order, reserving consecutive
+// ring indices in blocks with a single tail F&A per block instead of one per
+// value. Each reserved index then runs the ordinary per-cell enqueue
+// transition of Figure 3d independently, so the batch changes only how
+// indices are claimed, not how cells synchronize: an index whose cell
+// attempt fails is simply abandoned — exactly the state a failed single
+// enqueue attempt leaves behind, which dequeuers already poison past — and
+// its value moves on to the next reserved index.
+//
+// It returns how many values were accepted (always a prefix of vs) and
+// whether the ring is closed. On return either every value landed or the
+// ring is closed, so the LCRQ layer spills the remainder into a fresh ring;
+// progress is guaranteed because every reserved index that fails its cell
+// either advances the value cursor, closes the ring, or raises the shared
+// starvation count toward the tantrum.
+//
+//lcrq:hotpath
+func (q *CRQ) EnqueueBatch(h *Handle, vs []uint64) (n int, closed bool) {
+	for _, v := range vs {
+		if v == Bottom {
+			panic("core: enqueue of reserved value Bottom")
+		}
+	}
+	k := uint64(len(vs))
+	if k == 0 {
+		return 0, q.Closed()
+	}
+	if k > q.size {
+		// A longer reservation would lap the ring onto itself (index t and
+		// t+R share a cell); the caller re-invokes for the remainder.
+		k = q.size
+	}
+	tries := 0
+	for uint64(n) < k {
+		// Forced close: behave as if the reservation had observed a full ring.
+		if chaos.Fire(chaos.RingClose) {
+			q.closeRing(h, EvRingClose)
+			return n, true
+		}
+		rem := k - uint64(n)
+		base := q.faaTailN(h, rem)
+		if base&closedBit != 0 {
+			return n, true
+		}
+		chaos.Delay(chaos.BatchEnqReserve)
+		for i := uint64(0); i < rem; i++ {
+			t := base + i
+			cell := q.cell(t)
+			hi := cell.LoadHi()
+			lo := cell.LoadLo()
+			idx := lo & idxMask
+			safe := lo&unsafeFlag == 0
+			if hi == 0 && idx <= t && (safe || q.head.Load() <= t) {
+				chaos.Delay(chaos.DelayEnq)
+				if cas2(h, cell, chaos.EnqCAS2Fail, lo, 0, t, ^vs[n]) {
+					n++
+					continue
+				}
+			}
+			// Lost the cell: abandon index t (a dequeuer empty-transitions
+			// past it, as after any failed single attempt) and fall into the
+			// same full/starvation policy as the single-op path.
+			hd := q.head.Load()
+			tries++
+			if chaos.Fire(chaos.Tantrum) {
+				tries = q.cfg.StarvationLimit
+			}
+			if full := int64(t-hd) >= int64(q.size); full || tries >= q.cfg.StarvationLimit {
+				ev := EvRingTantrum
+				if full {
+					ev = EvRingClose
+				}
+				q.closeRing(h, ev)
+				return n, true
+			}
+			h.C.CellRetries++
+		}
+	}
+	return n, false
+}
+
+// DequeueBatch removes up to len(out) of the oldest values into out,
+// reserving consecutive head indices with a single F&A sized to the
+// population observed at entry (so an empty ring costs no F&A at all, and
+// overshoot beyond a racing tail is bounded by the staleness of one load).
+// Each reserved index runs the ordinary per-cell dequeue protocol of Figure
+// 3b, bounded spin-wait included; indices that yield no value are repaired
+// by the same fixState call the single-op path relies on.
+//
+// It returns how many values were written to out[0:]. 0 means the ring was
+// observed empty: the only return of 0 is from the tail ≤ head proof below,
+// never from a reservation whose cells all came up empty — that situation
+// (abandoned indices left by racing or faulted enqueuers) retries exactly
+// as the single-op Dequeue's internal loop does, so a 0 answer is always a
+// linearizable emptiness witness.
+//
+//lcrq:hotpath
+func (q *CRQ) DequeueBatch(h *Handle, out []uint64) int {
+	kMax := uint64(len(out))
+	if kMax == 0 {
+		return 0
+	}
+	if kMax > q.size {
+		kMax = q.size
+	}
+retry:
+	k := kMax
+	// Clamp the reservation to the observed population. Reading head before
+	// tail makes the empty answer linearizable: head is monotone, so at the
+	// instant tail was loaded head ≥ hd held, and tail ≤ head means the ring
+	// was empty at that instant.
+	hd := q.head.Load()
+	t := q.tail.Load() &^ closedBit
+	if t <= hd {
+		return 0
+	}
+	if avail := t - hd; k > avail {
+		k = avail
+	}
+	base := q.faaHeadN(h, k)
+	chaos.Delay(chaos.BatchDeqReserve)
+	n := 0
+	misses := false
+	for i := uint64(0); i < k; i++ {
+		hIdx := base + i
+		chaos.Delay(chaos.DelayDeq)
+		cell := q.cell(hIdx)
+		spins := q.cfg.SpinWait
+		before := n
+
+	cellLoop:
+		for {
+			hi := cell.LoadHi()
+			lo := cell.LoadLo()
+			idx := lo & idxMask
+			unsafeBit := lo & unsafeFlag
+
+			if idx > hIdx {
+				break cellLoop // overtaken: someone moved the cell past us
+			}
+			if hi != 0 {
+				if idx == hIdx {
+					if cas2(h, cell, chaos.DeqCAS2Fail, lo, hi, unsafeBit|(hIdx+q.size), 0) {
+						out[n] = ^hi
+						n++
+						break cellLoop
+					}
+				} else {
+					if cas2(h, cell, chaos.DeqCAS2Fail, lo, hi, unsafeFlag|idx, hi) {
+						h.C.UnsafeTrans++
+						break cellLoop
+					}
+				}
+			} else {
+				if spins > 0 && q.tail.Load()&^closedBit > hIdx {
+					spins--
+					h.C.SpinWaits++
+					continue cellLoop
+				}
+				if cas2(h, cell, chaos.DeqCAS2Fail, lo, 0, unsafeBit|(hIdx+q.size), 0) {
+					h.C.EmptyTrans++
+					break cellLoop
+				}
+			}
+		}
+		if n == before {
+			misses = true
+		}
+	}
+	if misses {
+		// Some reserved index yielded nothing, so head may now exceed tail;
+		// repair exactly as the single-op path does after an empty verdict.
+		q.fixState(h)
+	}
+	if n == 0 {
+		// The whole reservation missed (every cell was abandoned or moved
+		// on). That proves nothing about emptiness — values deposited before
+		// this call can still sit at higher indices — so go back to the
+		// availability check; head has advanced, so this terminates once
+		// tail ≤ head genuinely holds.
+		goto retry
+	}
+	return n
 }
 
 // fixState repairs the transient head > tail state a dequeuer's F&A can

@@ -200,6 +200,12 @@ func (q *LCRQ) releaseRing(r *CRQ) {
 // collector is the reclaimer and there is nothing to do.
 func (q *LCRQ) retireRing(h *Handle, r *CRQ) {
 	q.rings.Add(-1)
+	// Unlinking a ring frees ring budget: on a ring-bounded queue that ends
+	// a full episode just as a dequeue's freed item budget does (see
+	// releaseItems), so the next rejection taps EvCapacityReject again.
+	if q.cfg.MaxRings > 0 && q.full.Load() {
+		q.full.Store(false)
+	}
 	q.tap(EvRingRetire)
 	var reclaim func(*CRQ)
 	if !q.cfg.NoRecycle {
@@ -326,15 +332,164 @@ func (q *LCRQ) EnqueueStatus(h *Handle, v uint64) EnqStatus {
 	switch {
 	case st == EnqFull:
 		q.reject()
-	case st == EnqOK && q.cfg.MaxRings > 0:
+	case st == EnqOK && q.cfg.Bounded():
 		// A success ends any full episode; the next rejection re-arms the
-		// EvCapacityReject tap. Plain load first so the steady non-full
-		// state costs one read, not a store.
+		// EvCapacityReject tap. Gating on Bounded() (not MaxRings alone)
+		// keeps the reset alive for any bounded configuration regardless of
+		// how normalization derives the ring budget. Plain load first so the
+		// steady non-full state costs one read, not a store.
 		if q.full.Load() {
 			q.full.Store(false)
 		}
 	}
 	return st
+}
+
+// EnqueueBatch appends the values of vs, in order, amortizing the hot-line
+// tail F&A over the whole batch (see CRQ.EnqueueBatch) and spilling across
+// ring segments as rings close. It returns how many values were accepted —
+// always a prefix of vs — and the status of the remainder: EnqOK means the
+// whole batch landed, EnqFull that a bounded queue ran out of item or ring
+// budget after accepting n values, EnqClosed that the queue was closed.
+// Values must not be Bottom.
+//
+// Bounded mode reserves the batch's budget with one atomic add and refunds
+// the part the gate or the ring protocol did not use, so — exactly as with
+// the single-op reserve-then-publish — the number of accepted-but-not-
+// dequeued items never exceeds Capacity. Linearizability is per item: each
+// reserved ring index is an independent cell transaction, so a batch of k
+// values linearizes as k consecutive single enqueues by the same thread.
+//
+//lcrq:hotpath
+func (q *LCRQ) EnqueueBatch(h *Handle, vs []uint64) (int, EnqStatus) {
+	if len(vs) == 0 {
+		if q.closed.Load() {
+			return 0, EnqClosed
+		}
+		return 0, EnqOK
+	}
+	h.C.BatchEnqueues++
+	allowed := len(vs)
+	if cap := q.cfg.Capacity; cap > 0 {
+		got := q.items.Add(int64(len(vs)))
+		if over := got - cap; over > 0 {
+			if over > int64(len(vs)) {
+				over = int64(len(vs))
+			}
+			q.items.Add(-over) // refund the part the gate rejected
+			allowed = len(vs) - int(over)
+			if allowed == 0 {
+				// Closed wins over full, as in EnqueueStatus.
+				if q.closed.Load() {
+					return 0, EnqClosed
+				}
+				q.reject()
+				return 0, EnqFull
+			}
+		}
+	}
+	n, st := q.enqueueBatch(h, vs[:allowed])
+	if q.cfg.Capacity > 0 && n < allowed {
+		q.items.Add(int64(n - allowed)) // hand back the unused reservation
+	}
+	if n == len(vs) {
+		// The whole batch landed: a success ends any full episode, exactly
+		// as in EnqueueStatus.
+		if q.cfg.Bounded() && q.full.Load() {
+			q.full.Store(false)
+		}
+		return n, EnqOK
+	}
+	if st == EnqOK {
+		// The ring protocol took everything the capacity gate allowed; the
+		// truncation itself is the rejection.
+		if q.closed.Load() {
+			return n, EnqClosed
+		}
+		st = EnqFull
+	}
+	if st == EnqFull {
+		q.reject()
+	}
+	return n, st
+}
+
+// enqueueBatch runs the ring protocol for a budget-approved batch: the loop
+// of enqueue (Figure 5c) at batch granularity, spilling the remainder into a
+// freshly appended ring whenever the tail ring closes under the batch.
+//
+//lcrq:hotpath
+func (q *LCRQ) enqueueBatch(h *Handle, vs []uint64) (int, EnqStatus) {
+	h.enter()
+	defer h.exit()
+	accepted := 0
+	for {
+		crq := q.protect(h, hpTail, &q.tail)
+		if next := crq.next.Load(); next != nil {
+			// Help a stalled appender swing the tail.
+			h.C.CAS++
+			if !q.tail.CompareAndSwap(crq, next) {
+				h.C.CASFail++
+			}
+			continue
+		}
+		if q.cfg.Hierarchical {
+			q.clusterGate(h, crq)
+		}
+		n, closed := crq.EnqueueBatch(h, vs)
+		h.C.Enqueues += uint64(n)
+		accepted += n
+		vs = vs[n:]
+		if len(vs) == 0 {
+			q.unprotect(h, hpTail)
+			return accepted, EnqOK
+		}
+		if !closed {
+			// The ring clamped the reservation (batch longer than the ring):
+			// keep going on the same ring with a fresh reservation.
+			continue
+		}
+		if q.closed.Load() {
+			q.unprotect(h, hpTail)
+			return accepted, EnqClosed
+		}
+		if max := q.cfg.MaxRings; max > 0 && q.rings.Load() >= int64(max) {
+			q.unprotect(h, hpTail)
+			return accepted, EnqFull
+		}
+		// Spill: append a new ring seeded with the batch's next value; the
+		// rest of the batch lands there on the following iteration.
+		newcrq, recycled := q.newRing(h, vs[0])
+		h.C.CAS++
+		if crq.next.CompareAndSwap(nil, newcrq) {
+			q.rings.Add(1)
+			q.tap(EvRingAppend)
+			if recycled {
+				q.tap(EvRingRecycle)
+			}
+			chaos.Delay(chaos.Handoff)
+			h.C.CAS++
+			if !q.tail.CompareAndSwap(crq, newcrq) {
+				h.C.CASFail++
+			}
+			h.C.Appends++
+			h.C.Enqueues++
+			h.C.BatchSpill++
+			accepted++
+			vs = vs[1:]
+			// Same post-publication close re-check as enqueue.
+			if q.closed.Load() {
+				newcrq.closeRing(h, EvRingClose)
+			}
+			if len(vs) == 0 {
+				q.unprotect(h, hpTail)
+				return accepted, EnqOK
+			}
+			continue
+		}
+		h.C.CASFail++
+		q.releaseRing(newcrq) // lost the race; ring was never visible
+	}
 }
 
 // reject accounts a capacity rejection: the exact counter always, the Tap
@@ -348,11 +503,29 @@ func (q *LCRQ) reject() {
 }
 
 // releaseItem returns one unit of item budget after a successful dequeue.
-func (q *LCRQ) releaseItem() {
+func (q *LCRQ) releaseItem() { q.releaseItems(1) }
+
+// releaseItems returns n units of item budget after successful dequeues
+// and, on any bounded queue, ends a running full episode: budget freed by
+// consumers must re-arm the EvCapacityReject tap even if no producer
+// succeeds in between (a producer-side-only reset would leave a drained
+// queue reporting a stale full episode until the next successful enqueue).
+// The plain load keeps the steady non-full state at one read.
+func (q *LCRQ) releaseItems(n int64) {
 	if q.cfg.Capacity > 0 {
-		q.items.Add(-1)
+		q.items.Add(-n)
+	}
+	if q.cfg.Bounded() && q.full.Load() {
+		q.full.Store(false)
 	}
 }
+
+// FullEpisode reports whether a bounded queue is currently inside a full
+// episode: a rejection has fired EvCapacityReject and nothing has ended the
+// episode yet — neither a successful enqueue nor freed budget (a dequeue
+// returning item budget, or a ring retirement returning ring budget).
+// Always false on an unbounded queue.
+func (q *LCRQ) FullEpisode() bool { return q.full.Load() }
 
 // Items returns the exact number of accepted, not-yet-dequeued values on a
 // capacity-bounded queue, and 0 on an unbounded one (which keeps no item
@@ -553,23 +726,88 @@ func (q *LCRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 	}
 }
 
+// DequeueBatch removes up to len(out) of the oldest values into out with one
+// head F&A per ring visited (see CRQ.DequeueBatch), returning how many were
+// dequeued. 0 means the queue was observed empty. A batch never crosses a
+// ring boundary: once the head ring yields values the batch returns them, so
+// partial fills are normal — call again for more. As with EnqueueBatch,
+// linearizability is per item: a batch of k dequeues linearizes as k
+// consecutive single dequeues by the same thread.
+//
+// The December-2013 retry of the head ring after observing a non-nil next
+// is preserved verbatim from Dequeue; without it a batch could swing the
+// head past an item deposited between the drain and the swing.
+//
+//lcrq:hotpath
+func (q *LCRQ) DequeueBatch(h *Handle, out []uint64) int {
+	if len(out) == 0 {
+		return 0
+	}
+	h.C.BatchDequeues++
+	h.enter()
+	defer h.exit()
+	for {
+		crq := q.protect(h, hpHead, &q.head)
+		if q.cfg.Hierarchical {
+			q.clusterGate(h, crq)
+		}
+		if n := crq.DequeueBatch(h, out); n > 0 {
+			h.C.Dequeues += uint64(n)
+			q.releaseItems(int64(n))
+			q.unprotect(h, hpHead)
+			return n
+		}
+		if crq.next.Load() == nil {
+			// The batch observed empty: one completed (empty) dequeue,
+			// mirroring the single-op accounting.
+			h.C.Dequeues++
+			h.C.Empty++
+			q.unprotect(h, hpHead)
+			return 0
+		}
+		if n := crq.DequeueBatch(h, out); n > 0 {
+			h.C.Dequeues += uint64(n)
+			q.releaseItems(int64(n))
+			q.unprotect(h, hpHead)
+			return n
+		}
+		chaos.Delay(chaos.Handoff)
+		h.C.CAS++
+		if q.head.CompareAndSwap(crq, crq.next.Load()) {
+			q.retireRing(h, crq)
+		} else {
+			h.C.CASFail++
+		}
+	}
+}
+
 // clusterGate implements the LCRQ+H admission protocol (§4.1.1): if the
 // ring is currently owned by another cluster, wait up to ClusterTimeout for
 // ownership to arrive, then claim it with a CAS and proceed regardless of
 // the CAS outcome. The gate never blocks an operation permanently, so the
 // queue remains nonblocking.
+//
+// The clock is read once to set the deadline and then consulted only every
+// 64th spin, in the same iteration that yields the scheduler: a time.Now()
+// per spin cost more than the loads the gate exists to batch, and the
+// deadline only needs scheduler-tick resolution. GateSpins counts the
+// iterations so telemetry can see gate pressure.
 func (q *LCRQ) clusterGate(h *Handle, crq *CRQ) {
 	cur := crq.cluster.Load()
 	if cur == h.Cluster {
 		return
 	}
 	deadline := time.Now().Add(q.cfg.ClusterTimeout)
-	for spin := 0; time.Now().Before(deadline); spin++ {
+	for spin := 0; ; spin++ {
 		if crq.cluster.Load() == h.Cluster {
 			return
 		}
+		h.C.GateSpins++
 		if spin%64 == 63 {
 			runtime.Gosched()
+			if !time.Now().Before(deadline) {
+				break
+			}
 		}
 	}
 	cur = crq.cluster.Load()

@@ -86,6 +86,12 @@ type Workload struct {
 	// this interval during each run and derives a health verdict (see
 	// Result.Governance). Requires a Governed adapter to have any effect.
 	Watchdog time.Duration
+	// Batch, when > 1, replaces each enqueue/dequeue pair with an
+	// EnqueueBatch/DequeueBatch pair of that size (the pair count is scaled
+	// down so the item volume matches the Batch=1 workload). Requires a
+	// queue whose handles implement queues.BatchHandle; latency sampling is
+	// not applied to batch operations.
+	Batch int
 }
 
 // Result aggregates the runs of one workload.
@@ -125,6 +131,9 @@ func Run(w Workload) (*Result, error) {
 	if w.Capacity > 0 && w.Prefill > int(w.Capacity) {
 		return nil, fmt.Errorf("harness: prefill %d exceeds capacity %d (producers would block forever)",
 			w.Prefill, w.Capacity)
+	}
+	if w.Batch > 1 && w.EnqRatio > 0 {
+		return nil, fmt.Errorf("harness: batch and enq-ratio workloads are mutually exclusive")
 	}
 	if w.MaxDelay > 0 {
 		spinCalibrate.Do(calibrateSpin) // keep calibration out of the measured loop
@@ -188,6 +197,15 @@ func runOnce(w Workload, place *affinity.Placement, run int) (time.Duration, *in
 	})
 	if err != nil {
 		return 0, nil, nil, nil, err
+	}
+
+	if w.Batch > 1 {
+		h := q.NewHandle(0, 0)
+		_, batched := h.(queues.BatchHandle)
+		h.Release()
+		if !batched {
+			return 0, nil, nil, nil, fmt.Errorf("harness: queue %q does not support batch operations", w.Queue)
+		}
 	}
 
 	if w.Prefill > 0 {
@@ -350,6 +368,12 @@ func workerLoop(h queues.Handle, w Workload, rng *xrand.State, lh *hist.H, t int
 		mixedLoop(h, w, rng, lh, t)
 		return
 	}
+	if w.Batch > 1 {
+		if bh, ok := h.(queues.BatchHandle); ok {
+			batchLoop(bh, w, rng, t)
+			return
+		}
+	}
 	sample := w.LatencySample
 	opIdx := 0
 	for i := 0; i < w.Pairs; i++ {
@@ -373,6 +397,36 @@ func workerLoop(h queues.Handle, w Workload, rng *xrand.State, lh *hist.H, t int
 			h.Dequeue()
 		}
 		opIdx++
+		if w.MaxDelay > 0 {
+			spinWait(int(rng.Uintn(uint64(w.MaxDelay) + 1)))
+		}
+	}
+}
+
+// batchLoop is the batched counterpart of workerLoop: each iteration moves
+// a block of up to Batch values through EnqueueBatch and then attempts to
+// take a block of the same size back with DequeueBatch, preserving the
+// total item volume of the pairs workload (Pairs items per direction per
+// thread). The dequeue is a single attempt, like the pairs loop's single
+// Dequeue call: a short block means other threads got there first, and the
+// conservation check accounts for it.
+func batchLoop(bh queues.BatchHandle, w Workload, rng *xrand.State, t int) {
+	k := w.Batch
+	in := make([]uint64, k)
+	out := make([]uint64, k)
+	for i := 0; i < w.Pairs; i += k {
+		n := k
+		if w.Pairs-i < n {
+			n = w.Pairs - i
+		}
+		for j := 0; j < n; j++ {
+			in[j] = uint64(t)<<32 | uint64(i+j) | 1<<62
+		}
+		bh.EnqueueBatch(in[:n])
+		if w.MaxDelay > 0 {
+			spinWait(int(rng.Uintn(uint64(w.MaxDelay) + 1)))
+		}
+		bh.DequeueBatch(out[:n])
 		if w.MaxDelay > 0 {
 			spinWait(int(rng.Uintn(uint64(w.MaxDelay) + 1)))
 		}

@@ -36,13 +36,19 @@ type Counters struct {
 	CAS2     uint64 // double-width CAS attempts
 	CAS2Fail uint64 // double-width CAS attempts that failed
 
-	CellRetries  uint64 // CRQ: extra head/tail F&As needed beyond the first
-	EmptyTrans   uint64 // CRQ: empty transitions performed
-	UnsafeTrans  uint64 // CRQ: unsafe transitions performed
-	SpinWaits    uint64 // CRQ: bounded waits for a matching enqueuer
-	Closes       uint64 // CRQ: times this thread closed a ring
-	Appends      uint64 // LCRQ: new CRQs appended to the list
-	Recycled     uint64 // LCRQ: rings obtained from the recycler
+	CellRetries uint64 // CRQ: extra head/tail F&As needed beyond the first
+	EmptyTrans  uint64 // CRQ: empty transitions performed
+	UnsafeTrans uint64 // CRQ: unsafe transitions performed
+	SpinWaits   uint64 // CRQ: bounded waits for a matching enqueuer
+	Closes      uint64 // CRQ: times this thread closed a ring
+	Appends     uint64 // LCRQ: new CRQs appended to the list
+	Recycled    uint64 // LCRQ: rings obtained from the recycler
+
+	BatchEnqueues uint64 // LCRQ: EnqueueBatch calls (constituent items count in Enqueues)
+	BatchDequeues uint64 // LCRQ: DequeueBatch calls (constituent items count in Dequeues)
+	BatchSpill    uint64 // LCRQ: batches that spilled into a freshly appended ring
+	GateSpins     uint64 // LCRQ+H: cluster admission gate spin iterations
+
 	CombinerRuns uint64 // combining queues: times this thread combined
 	Combined     uint64 // combining queues: operations applied while combining
 	LockAcq      uint64 // lock acquisitions (blocking queues)
@@ -71,6 +77,10 @@ func (c *Counters) Add(o *Counters) {
 	c.Closes += o.Closes
 	c.Appends += o.Appends
 	c.Recycled += o.Recycled
+	c.BatchEnqueues += o.BatchEnqueues
+	c.BatchDequeues += o.BatchDequeues
+	c.BatchSpill += o.BatchSpill
+	c.GateSpins += o.GateSpins
 	c.CombinerRuns += o.CombinerRuns
 	c.Combined += o.Combined
 	c.LockAcq += o.LockAcq

@@ -133,6 +133,30 @@ func (h *lcrqHandle) Dequeue() (uint64, bool) {
 	}
 	return v, true
 }
+
+// EnqueueBatch implements BatchHandle: like Enqueue, it applies
+// backpressure instead of dropping — the loop re-offers the unaccepted
+// tail until everything lands or the queue closes.
+func (h *lcrqHandle) EnqueueBatch(vs []uint64) int {
+	total := 0
+	for len(vs) > 0 {
+		n, st := h.q.EnqueueBatch(h.h, vs)
+		total += n
+		vs = vs[n:]
+		if len(vs) == 0 || st == core.EnqClosed || h.q.Closed() {
+			return total
+		}
+		if n == 0 {
+			runtime.Gosched()
+		}
+	}
+	return total
+}
+
+func (h *lcrqHandle) DequeueBatch(out []uint64) int {
+	return h.q.DequeueBatch(h.h, out)
+}
+
 func (h *lcrqHandle) Counters() *instrument.Counters { return &h.h.C }
 func (h *lcrqHandle) Release()                       { h.h.Release() }
 

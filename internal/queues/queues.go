@@ -83,6 +83,18 @@ type Handle interface {
 	Release()
 }
 
+// BatchHandle is implemented by handles whose queue supports batched
+// operations (one index reservation per block of items). EnqueueBatch
+// appends every value of vs before returning (blocking politely under a
+// bounded budget, like Handle.Enqueue) and returns how many landed — less
+// than len(vs) only if the queue closed mid-batch. DequeueBatch fills out
+// with up to len(out) values and returns how many it wrote; 0 means the
+// queue was observed empty.
+type BatchHandle interface {
+	EnqueueBatch(vs []uint64) int
+	DequeueBatch(out []uint64) int
+}
+
 // Factory builds a queue instance from a configuration.
 type Factory func(cfg Config) Queue
 

@@ -82,6 +82,19 @@ func JSONRingSweep(w io.Writer, r *harness.RingSweepResult) error {
 	})
 }
 
+// JSONBatchSweep writes a batch-size study as JSON — the shape archived as
+// BENCH_batch.json by CI, so successive runs form a trajectory of the
+// F&A-per-item amortization.
+func JSONBatchSweep(w io.Writer, r *harness.BatchSweepResult) error {
+	return encode(w, map[string]any{
+		"figure":  r.Spec.ID,
+		"title":   r.Spec.Title,
+		"queue":   r.Spec.Queue,
+		"threads": r.Spec.Threads,
+		"points":  r.Points,
+	})
+}
+
 // JSONTable writes a statistics table as JSON.
 func JSONTable(w io.Writer, r *harness.TableResult) error {
 	return encode(w, map[string]any{

@@ -117,6 +117,23 @@ func RingSweep(w io.Writer, r *harness.RingSweepResult) {
 	table(w, header, rows)
 }
 
+// BatchSweep writes a batch-size study table: item throughput and F&A cost
+// per batch size, the amortization the batched reservation exists to show.
+func BatchSweep(w io.Writer, r *harness.BatchSweepResult) {
+	fmt.Fprintf(w, "Study %s: %s (%s, %d threads)\n\n",
+		r.Spec.ID, r.Spec.Title, r.Spec.Queue, r.Spec.Threads)
+	rows := [][]string{}
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.K),
+			fmt.Sprintf("%.3f", p.Mops),
+			fmt.Sprintf("%.3f", p.FAAPerItem),
+			fmt.Sprintf("%d", p.Spills),
+		})
+	}
+	table(w, []string{"batch", "Mops", "F&A/item", "spills"}, rows)
+}
+
 // Table writes a Table 2/3 style statistics table.
 func Table(w io.Writer, r *harness.TableResult) {
 	fmt.Fprintf(w, "Table %s: %s\n", r.Spec.ID, r.Spec.Title)

@@ -62,6 +62,30 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// BatchKind identifies a batch-size distribution series.
+type BatchKind uint8
+
+const (
+	BatchEnqueue BatchKind = iota
+	BatchDequeue
+
+	// NumBatchKinds is the number of batch series; it is not itself a kind.
+	NumBatchKinds
+)
+
+var batchKindNames = [NumBatchKinds]string{
+	BatchEnqueue: "enqueue-batch",
+	BatchDequeue: "dequeue-batch",
+}
+
+// String returns the series name used by the exporters.
+func (k BatchKind) String() string {
+	if k < NumBatchKinds {
+		return batchKindNames[k]
+	}
+	return "unknown"
+}
+
 // publishInterval is how many operations a handle performs between counter
 // republications. It bounds both the scraper's staleness (per handle) and
 // the amortized publication cost (~20 atomic stores per interval).
@@ -82,6 +106,7 @@ type Sink struct {
 	recs    atomic.Pointer[[]*Rec]     // copy-on-write registry of live handles
 	seedCtr atomic.Uint64              // sampling phase scrambler
 	hists   [NumKinds]*latHist
+	batches [NumBatchKinds]*latHist // batch-size distributions (items, not ns)
 	events  *eventRing
 	evCount [core.NumRingEvents]atomic.Uint64
 }
@@ -106,6 +131,9 @@ func New(sampleN int, eventCap int) *Sink {
 	s.recs.Store(&empty)
 	for k := range s.hists {
 		s.hists[k] = newLatHist()
+	}
+	for k := range s.batches {
+		s.batches[k] = newLatHist()
 	}
 	return s
 }
@@ -185,6 +213,17 @@ func (r *Rec) Lat(k Kind, d time.Duration) {
 	r.sink.hists[k].record(d.Nanoseconds())
 }
 
+// Batch records the accepted size of a batch operation. Unlike latency,
+// batch sizes are recorded unconditionally (batch calls are already
+// amortized), reusing the log-bucket histogram with items in place of
+// nanoseconds.
+func (r *Rec) Batch(k BatchKind, n int) {
+	if n < 0 {
+		n = 0
+	}
+	r.sink.batches[k].record(int64(n))
+}
+
 // Tick advances the publication pacing and republishes the handle's
 // counters every publishInterval calls. Call once per completed operation.
 func (r *Rec) Tick() {
@@ -225,6 +264,7 @@ type Snapshot struct {
 	Handles     int // live (registered, unreleased) handles
 	SampleN     int // latency sampling stride (0 = disabled)
 	Latency     [NumKinds]LatencySnapshot
+	BatchSizes  [NumBatchKinds]LatencySnapshot // sizes in items, not ns
 	EventCounts [core.NumRingEvents]uint64
 	Chaos       []ChaosCount
 }
@@ -243,6 +283,9 @@ func (s *Sink) Snapshot() Snapshot {
 	}
 	for k := range s.hists {
 		snap.Latency[k] = s.hists[k].snapshot()
+	}
+	for k := range s.batches {
+		snap.BatchSizes[k] = s.batches[k].snapshot()
 	}
 	for ev := range s.evCount {
 		snap.EventCounts[ev] = s.evCount[ev].Load()

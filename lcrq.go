@@ -282,6 +282,45 @@ func (h *Handle) dequeueTel() (uint64, bool) {
 	return v, ok
 }
 
+// EnqueueBatch appends the values of vs in order, reserving a block of
+// consecutive ring cells with a single fetch-and-add instead of one per
+// item, and returns how many values were accepted. The n accepted values
+// linearize as n consecutive single enqueues by this handle; concurrent
+// dequeuers observe them in vs order. On an unbounded, open queue the whole
+// slice is always accepted (n == len(vs), err == nil). Otherwise n < len(vs)
+// with ErrClosed once the queue has been closed, or ErrFull when a bounded
+// queue's budget ran out — the first n values are in the queue either way,
+// and vs[n:] was not enqueued. No value may equal Reserved.
+func (h *Handle) EnqueueBatch(vs []uint64) (n int, err error) {
+	n, st := h.q.q.EnqueueBatch(h.h, vs)
+	if r := h.tel; r != nil {
+		r.Batch(telemetry.BatchEnqueue, n)
+		r.Tick()
+	}
+	switch {
+	case n == len(vs):
+		return n, nil
+	case st == core.EnqClosed:
+		return n, ErrClosed
+	default:
+		return n, ErrFull
+	}
+}
+
+// DequeueBatch removes up to len(out) of the oldest values into out,
+// reserving a block of consecutive ring cells with a single fetch-and-add
+// instead of one per item, and returns how many values it wrote. The n
+// values linearize as n consecutive single dequeues by this handle. A
+// return of 0 means the queue was observed empty (out is untouched).
+func (h *Handle) DequeueBatch(out []uint64) int {
+	n := h.q.q.DequeueBatch(h.h, out)
+	if r := h.tel; r != nil {
+		r.Batch(telemetry.BatchDequeue, n)
+		r.Tick()
+	}
+	return n
+}
+
 // DequeueWait blocks until a value is available and returns it. It fails
 // with ErrClosed once the queue has been closed and drained, or with
 // ctx.Err() when ctx is done first; the returned value is meaningless on
@@ -406,6 +445,24 @@ func (q *Queue) Dequeue() (v uint64, ok bool) {
 	v, ok = h.Dequeue()
 	q.pool.Put(h)
 	return v, ok
+}
+
+// EnqueueBatch appends the values of vs using a pooled handle; see
+// Handle.EnqueueBatch.
+func (q *Queue) EnqueueBatch(vs []uint64) (n int, err error) {
+	h := q.pool.Get().(*Handle)
+	n, err = h.EnqueueBatch(vs)
+	q.pool.Put(h)
+	return n, err
+}
+
+// DequeueBatch removes up to len(out) values into out using a pooled
+// handle; see Handle.DequeueBatch.
+func (q *Queue) DequeueBatch(out []uint64) int {
+	h := q.pool.Get().(*Handle)
+	n := h.DequeueBatch(out)
+	q.pool.Put(h)
+	return n
 }
 
 // Close permanently closes the queue to new enqueues: Enqueue calls that

@@ -19,6 +19,19 @@ type LatencySummary struct {
 	Max     time.Duration
 }
 
+// BatchSummary summarizes the accepted-size distribution of one batch
+// operation series. Sizes share the latency histogram's log-bucket layout
+// (≈1.6% resolution), with items in place of nanoseconds; Items is the exact
+// total number of items moved by the summarized batches.
+type BatchSummary struct {
+	Batches uint64  // batch calls recorded
+	Items   uint64  // total items accepted/returned across those calls
+	Mean    float64 // mean accepted batch size
+	P50     int64   // median accepted batch size
+	P99     int64
+	Max     int64
+}
+
 // Metrics is a live snapshot of the queue's telemetry. Counter aggregates
 // lag each handle by at most one publication interval (256 ops); gauges are
 // instantaneous but approximate under concurrency (see DESIGN.md §8).
@@ -78,6 +91,11 @@ type Metrics struct {
 	DequeueWait LatencySummary
 	EnqueueWait LatencySummary
 
+	// Accepted batch-size distributions of the batch entry points (always
+	// zero when the batch API is unused).
+	EnqueueBatch BatchSummary
+	DequeueBatch BatchSummary
+
 	// RingEvents counts ring-lifecycle transitions by event name
 	// (ring-close, ring-tantrum, ring-append, ring-recycle, ring-retire,
 	// queue-close).
@@ -105,6 +123,20 @@ func summarize(l telemetry.LatencySnapshot) LatencySummary {
 	}
 	if l.Samples > 0 {
 		s.Mean = time.Duration(l.SumNs / int64(l.Samples))
+	}
+	return s
+}
+
+func summarizeBatch(l telemetry.LatencySnapshot) BatchSummary {
+	s := BatchSummary{
+		Batches: l.Samples,
+		Items:   uint64(l.SumNs),
+		P50:     l.P50Ns,
+		P99:     l.P99Ns,
+		Max:     l.MaxNs,
+	}
+	if l.Samples > 0 {
+		s.Mean = float64(l.SumNs) / float64(l.Samples)
 	}
 	return s
 }
@@ -139,6 +171,8 @@ func (q *Queue) Metrics() Metrics {
 	m.Dequeue = summarize(snap.Latency[telemetry.KindDequeue])
 	m.DequeueWait = summarize(snap.Latency[telemetry.KindDequeueWait])
 	m.EnqueueWait = summarize(snap.Latency[telemetry.KindEnqueueWait])
+	m.EnqueueBatch = summarizeBatch(snap.BatchSizes[telemetry.BatchEnqueue])
+	m.DequeueBatch = summarizeBatch(snap.BatchSizes[telemetry.BatchDequeue])
 	m.RingEvents = make(map[string]uint64, len(snap.EventCounts))
 	for ev, n := range snap.EventCounts {
 		m.RingEvents[core.RingEvent(ev).String()] = n

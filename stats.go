@@ -31,6 +31,11 @@ type Stats struct {
 	RingAppends  uint64 // ring segments this handle appended
 	RingRecycles uint64 // appended segments satisfied from the recycler
 
+	BatchEnqueues uint64 // EnqueueBatch calls (items accepted count in Enqueues)
+	BatchDequeues uint64 // DequeueBatch calls (items returned count in Dequeues)
+	BatchSpills   uint64 // batches that spilled into a freshly appended ring
+	GateSpins     uint64 // hierarchical cluster-gate spin iterations
+
 	CombinerRuns     uint64 // combining queues: times this thread combined
 	Combined         uint64 // combining queues: operations applied while combining
 	LockAcquisitions uint64 // lock acquisitions (blocking queues)
@@ -61,6 +66,10 @@ func statsFromCounters(c *instrument.Counters) Stats {
 		RingCloses:        c.Closes,
 		RingAppends:       c.Appends,
 		RingRecycles:      c.Recycled,
+		BatchEnqueues:     c.BatchEnqueues,
+		BatchDequeues:     c.BatchDequeues,
+		BatchSpills:       c.BatchSpill,
+		GateSpins:         c.GateSpins,
 		CombinerRuns:      c.CombinerRuns,
 		Combined:          c.Combined,
 		LockAcquisitions:  c.LockAcq,
@@ -98,6 +107,10 @@ func (s Stats) Add(o Stats) Stats {
 		RingCloses:        s.RingCloses + o.RingCloses,
 		RingAppends:       s.RingAppends + o.RingAppends,
 		RingRecycles:      s.RingRecycles + o.RingRecycles,
+		BatchEnqueues:     s.BatchEnqueues + o.BatchEnqueues,
+		BatchDequeues:     s.BatchDequeues + o.BatchDequeues,
+		BatchSpills:       s.BatchSpills + o.BatchSpills,
+		GateSpins:         s.GateSpins + o.GateSpins,
 		CombinerRuns:      s.CombinerRuns + o.CombinerRuns,
 		Combined:          s.Combined + o.Combined,
 		LockAcquisitions:  s.LockAcquisitions + o.LockAcquisitions,

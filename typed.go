@@ -60,6 +60,7 @@ type TypedHandle[T any] struct {
 	t    *Typed[T]
 	main *Handle
 	free *Handle
+	idx  []uint64 // scratch index block for the batch operations
 }
 
 // NewHandle returns a handle bound to t. Release it when the goroutine is
@@ -147,6 +148,67 @@ func (h *TypedHandle[T]) putSlot(idx uint64) {
 	var zero T
 	*h.t.slot(idx) = zero
 	h.free.Enqueue(idx)
+}
+
+// scratch returns the handle's reusable index block, sized to k. The handle
+// is single-goroutine and the batch operations do not nest, so one buffer
+// serves both directions without allocation in the steady state.
+func (h *TypedHandle[T]) scratch(k int) []uint64 {
+	if cap(h.idx) < k {
+		h.idx = make([]uint64, k)
+	}
+	return h.idx[:k]
+}
+
+// EnqueueBatch appends the values of vs in order using the underlying index
+// queue's batched enqueue (one fetch-and-add per block of items instead of
+// one per item) and returns how many values were accepted, with the same
+// error contract as Handle.EnqueueBatch: nil when all of vs landed,
+// ErrClosed / ErrFull with n < len(vs) otherwise. Slots backing the
+// rejected tail are recycled, so a partial batch leaks nothing.
+func (h *TypedHandle[T]) EnqueueBatch(vs []T) (n int, err error) {
+	k := len(vs)
+	idx := h.scratch(k)
+	// Acquire the whole slot block up front, batch-draining the free list
+	// and growing the arena (which refills the free list) when it runs dry.
+	m := h.free.DequeueBatch(idx)
+	for m < k {
+		idx[m] = h.t.grow(h)
+		m++
+		m += h.free.DequeueBatch(idx[m:])
+	}
+	for i, v := range vs {
+		*h.t.slot(idx[i]) = v
+	}
+	n, err = h.main.EnqueueBatch(idx)
+	if n < k {
+		var zero T
+		for _, ix := range idx[n:] {
+			*h.t.slot(ix) = zero
+		}
+		// The free list is private, unbounded, and never closed, so the
+		// batch recycle always accepts the whole tail.
+		h.free.EnqueueBatch(idx[n:])
+	}
+	return n, err
+}
+
+// DequeueBatch removes up to len(out) of the oldest values into out using
+// the underlying index queue's batched dequeue and returns how many values
+// it wrote; 0 means the queue was observed empty.
+func (h *TypedHandle[T]) DequeueBatch(out []T) int {
+	idx := h.scratch(len(out))
+	n := h.main.DequeueBatch(idx)
+	var zero T
+	for i := 0; i < n; i++ {
+		p := h.t.slot(idx[i])
+		out[i] = *p
+		*p = zero // release references held by the slot
+	}
+	if n > 0 {
+		h.free.EnqueueBatch(idx[:n])
+	}
+	return n
 }
 
 // Dequeue removes and returns the oldest value; ok is false if the queue
@@ -240,6 +302,24 @@ func (t *Typed[T]) Dequeue() (v T, ok bool) {
 	v, ok = h.Dequeue()
 	t.pool.Put(h)
 	return v, ok
+}
+
+// EnqueueBatch appends the values of vs using a pooled handle; see
+// TypedHandle.EnqueueBatch.
+func (t *Typed[T]) EnqueueBatch(vs []T) (n int, err error) {
+	h := t.pool.Get().(*TypedHandle[T])
+	n, err = h.EnqueueBatch(vs)
+	t.pool.Put(h)
+	return n, err
+}
+
+// DequeueBatch removes up to len(out) values into out using a pooled
+// handle; see TypedHandle.DequeueBatch.
+func (t *Typed[T]) DequeueBatch(out []T) int {
+	h := t.pool.Get().(*TypedHandle[T])
+	n := h.DequeueBatch(out)
+	t.pool.Put(h)
+	return n
 }
 
 // Health returns the watchdog verdict of the underlying index queue; see
