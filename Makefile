@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race purego chaos soak fuzz bench batchbench examples reproduce check clean lint crossarch
+.PHONY: all build vet test race purego chaos soak fuzz bench batchbench examples reproduce check clean lint crossarch e2e e2e-baseline
 
 all: check
 
@@ -66,6 +66,23 @@ bench:
 batchbench:
 	$(GO) run ./cmd/qbench -batch 64 -metrics BENCH_batch.json
 
+# End-to-end queue-as-a-service check: build qserve and qload, run the
+# sweep with all three fault scenarios (killed connections, slow-consumer
+# shed/recover, mid-traffic SIGTERM drain), and gate enqueue p99 against
+# the committed trajectory in BENCH_e2e.json (>2x regression fails).
+# Override the per-cell load duration with E2E_DURATION.
+E2E_DURATION ?= 500ms
+e2e:
+	$(GO) build -o $(CURDIR)/bin/qserve ./cmd/qserve
+	$(GO) build -o $(CURDIR)/bin/qload ./cmd/qload
+	$(CURDIR)/bin/qload -qserve $(CURDIR)/bin/qserve -duration $(E2E_DURATION) -baseline BENCH_e2e.json -out BENCH_e2e_run.json
+
+# Regenerate the committed baseline artifact (run on a quiet machine).
+e2e-baseline:
+	$(GO) build -o $(CURDIR)/bin/qserve ./cmd/qserve
+	$(GO) build -o $(CURDIR)/bin/qload ./cmd/qload
+	$(CURDIR)/bin/qload -qserve $(CURDIR)/bin/qserve -duration 2s -out BENCH_e2e.json
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/pipeline
@@ -88,7 +105,7 @@ modelcheck:
 	$(GO) run ./cmd/modelcheck -mutate empty -ops 2 || true
 	$(GO) run ./cmd/modelcheck -mutate idx -ops 2 || true
 
-check: build vet lint crossarch test race purego chaos
+check: build vet lint crossarch test race purego chaos e2e
 
 clean:
 	$(GO) clean ./...

@@ -271,3 +271,160 @@ func TestGovernanceOffOverhead(t *testing.T) {
 		t.Fatalf("governance-off wrapper overhead too high: direct %.1f ns/op vs wrapped %.1f ns/op", d, w)
 	}
 }
+
+// TestWaitErrorTaxonomy: context expiry during EnqueueWait/DequeueWait must
+// be distinguishable, via errors.Is, from the queue condition that forced
+// the wait — a server needs "full for the whole deadline" (backpressure,
+// retryable) and "caller cancelled" (not a queue condition) to map to
+// different status codes.
+func TestWaitErrorTaxonomy(t *testing.T) {
+	q := New(WithCapacity(1), WithWaitBackoff(time.Microsecond, 50*time.Microsecond))
+	defer q.Close()
+	h := q.NewHandle()
+	defer h.Release()
+	if err := h.TryEnqueue(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full queue + expired deadline → both ErrFull and DeadlineExceeded.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	err := h.EnqueueWait(ctx, 2)
+	cancel()
+	if !errors.Is(err, ErrFull) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("EnqueueWait(full, expired) = %v, want Is(ErrFull) && Is(DeadlineExceeded)", err)
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, ErrEmpty) {
+		t.Fatalf("EnqueueWait error matches the wrong sentinels: %v", err)
+	}
+	var we *WaitError
+	if !errors.As(err, &we) || we.State != ErrFull {
+		t.Fatalf("EnqueueWait error not a *WaitError{State: ErrFull}: %v", err)
+	}
+
+	// Caller cancellation → Canceled, still tagged with the queue state.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := h.EnqueueWait(ctx2, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EnqueueWait(cancelled) = %v, want Is(Canceled)", err)
+	}
+
+	// Empty queue + expired deadline on the dequeue side → ErrEmpty.
+	if _, got := h.Dequeue(); !got {
+		t.Fatal("queue should hold the item enqueued above")
+	}
+	ctx3, cancel3 := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel3()
+	_, err = h.DequeueWait(ctx3)
+	if !errors.Is(err, ErrEmpty) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DequeueWait(empty, expired) = %v, want Is(ErrEmpty) && Is(DeadlineExceeded)", err)
+	}
+	if errors.Is(err, ErrFull) {
+		t.Fatalf("DequeueWait error matches ErrFull: %v", err)
+	}
+}
+
+// TestWatchdogRecoverEvent drives a capacity stall and its recovery, and
+// asserts the event trace carries the paired watchdog-alert /
+// watchdog-recover markers with the recovery hysteresis in between: the
+// verdict must hold (annotated as recovering) until wdRecoverTicks
+// consecutive clean checks pass, so Health() consumers never see a flap.
+func TestWatchdogRecoverEvent(t *testing.T) {
+	q := New(WithCapacity(2), WithWatchdog(2*time.Millisecond))
+	defer q.Close()
+	h := q.NewHandle()
+	defer h.Release()
+	h.TryEnqueue(1)
+	h.TryEnqueue(2)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for q.Health().Verdict != "capacity-stall" {
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog never flagged capacity-stall; health = %+v", q.Health())
+		}
+		h.TryEnqueue(3)
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Ease the load and wait for the published verdict to flip back.
+	h.Dequeue()
+	h.Dequeue()
+	for q.Health().Verdict != "ok" {
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog stuck after recovery; health = %+v", q.Health())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	m := q.Metrics()
+	if m.RingEvents["watchdog-alert"] == 0 {
+		t.Fatalf("no watchdog-alert event recorded; events = %v", m.RingEvents)
+	}
+	if m.RingEvents["watchdog-recover"] == 0 {
+		t.Fatalf("no watchdog-recover event recorded; events = %v", m.RingEvents)
+	}
+	if a, r := m.RingEvents["watchdog-alert"], m.RingEvents["watchdog-recover"]; r > a {
+		t.Fatalf("more recoveries (%d) than alerts (%d)", r, a)
+	}
+	// The trace orders the pair: recover follows its alert.
+	var alertSeq, recoverSeq uint64
+	for _, e := range q.Events() {
+		switch e.Kind {
+		case "watchdog-alert":
+			if alertSeq == 0 {
+				alertSeq = e.Seq + 1 // +1: Seq is 0-based, 0 means "not seen"
+			}
+		case "watchdog-recover":
+			if recoverSeq == 0 {
+				recoverSeq = e.Seq + 1
+			}
+		}
+	}
+	if alertSeq != 0 && recoverSeq != 0 && recoverSeq < alertSeq {
+		t.Fatalf("watchdog-recover (seq %d) precedes watchdog-alert (seq %d)", recoverSeq-1, alertSeq-1)
+	}
+}
+
+// TestWatchdogRecoverHysteresis unit-tests the publish state machine: a
+// problem verdict must survive wdRecoverTicks-1 clean ticks unchanged and
+// flip (with EvWatchdogRecover) only on the wdRecoverTicks-th.
+func TestWatchdogRecoverHysteresis(t *testing.T) {
+	w := &watchdog{health: Health{OK: true, Verdict: "ok"}}
+
+	ev, fire := w.publish("capacity-stall", "full")
+	if !fire || ev.String() != "watchdog-alert" {
+		t.Fatalf("ok→problem published (%v,%v), want watchdog-alert", ev, fire)
+	}
+	if h := w.health; h.OK || h.Verdict != "capacity-stall" {
+		t.Fatalf("health after alert = %+v", h)
+	}
+
+	// Clean ticks 1..wdRecoverTicks-1 hold the verdict, no event.
+	for i := 1; i < wdRecoverTicks; i++ {
+		ev, fire = w.publish("ok", "")
+		if fire {
+			t.Fatalf("clean tick %d fired %v before the hysteresis window closed", i, ev)
+		}
+		if h := w.health; h.OK || h.Verdict != "capacity-stall" {
+			t.Fatalf("clean tick %d flipped early: %+v", i, h)
+		}
+	}
+
+	// A relapse inside the window resets the streak without a fresh alert.
+	if ev, fire = w.publish("capacity-stall", "full again"); fire {
+		t.Fatalf("problem→problem fired %v", ev)
+	}
+	for i := 1; i < wdRecoverTicks; i++ {
+		if _, fire = w.publish("ok", ""); fire {
+			t.Fatalf("streak not reset by relapse (tick %d fired)", i)
+		}
+	}
+
+	// The wdRecoverTicks-th consecutive clean tick flips and fires.
+	ev, fire = w.publish("ok", "")
+	if !fire || ev.String() != "watchdog-recover" {
+		t.Fatalf("recovery tick published (%v,%v), want watchdog-recover", ev, fire)
+	}
+	if h := w.health; !h.OK || h.Verdict != "ok" || h.Detail != "" {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+}

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcrq/internal/resilience/client"
+)
+
+type cellResult struct {
+	Name             string  `json:"name"`
+	Clients          int     `json:"clients"`
+	Batch            int     `json:"batch"`
+	Capacity         int64   `json:"capacity"`
+	DurationMs       int64   `json:"duration_ms"`
+	Items            uint64  `json:"items"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	EnqueueP50Ms     float64 `json:"enqueue_p50_ms"`
+	EnqueueP99Ms     float64 `json:"enqueue_p99_ms"`
+	Retries          uint64  `json:"retries"`
+}
+
+// runCell drives one sweep cell against a fresh server: Clients producers
+// and Clients consumers for the configured duration, measuring the RTT of
+// every successful enqueue batch.
+func runCell(qservePath string, spec cellSpec, dur time.Duration) (cellResult, error) {
+	p, err := spawnQserve(qservePath, spec.Capacity)
+	if err != nil {
+		return cellResult{}, err
+	}
+	defer p.kill()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		rtts    []time.Duration
+		items   atomic.Uint64
+		retries atomic.Uint64
+		errOnce atomic.Pointer[error]
+	)
+	stopProduce := make(chan struct{})
+	fail := func(err error) {
+		errOnce.CompareAndSwap(nil, &err)
+		cancel()
+	}
+
+	for i := 0; i < spec.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := client.New(client.Config{BaseURL: p.base})
+			defer func() { retries.Add(cl.Retries.Load()) }()
+			next := uint64(id+1) << 40
+			batch := make([]uint64, spec.Batch)
+			var local []time.Duration
+			defer func() {
+				mu.Lock()
+				rtts = append(rtts, local...)
+				mu.Unlock()
+			}()
+			for {
+				select {
+				case <-stopProduce:
+					return
+				case <-ctx.Done():
+					return
+				default:
+				}
+				for j := range batch {
+					batch[j] = next + uint64(j)
+				}
+				t0 := time.Now()
+				n, err := cl.Enqueue(ctx, batch, time.Second)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					var apiErr *client.APIError
+					if errors.As(err, &apiErr) || errors.Is(err, client.ErrBudgetExhausted) {
+						// Backpressure (429 beyond the attempt cap, budget
+						// dry): expected on bounded cells; yield and go on.
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					fail(fmt.Errorf("producer %d: %w", id, err))
+					return
+				}
+				local = append(local, time.Since(t0))
+				items.Add(uint64(n))
+				next += uint64(n)
+			}
+		}(i)
+	}
+
+	for i := 0; i < spec.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cl := client.New(client.Config{BaseURL: p.base})
+			for ctx.Err() == nil {
+				_, err := cl.Dequeue(ctx, spec.Batch, 50*time.Millisecond)
+				if err != nil && ctx.Err() == nil {
+					var apiErr *client.APIError
+					if errors.As(err, &apiErr) && apiErr.Retryable() {
+						continue // empty long-poll beyond the attempt cap
+					}
+					if errors.Is(err, client.ErrBudgetExhausted) {
+						continue
+					}
+					fail(fmt.Errorf("consumer %d: %w", id, err))
+					return
+				}
+			}
+		}(i)
+	}
+
+	start := time.Now()
+	time.Sleep(dur)
+	close(stopProduce)
+	elapsed := time.Since(start)
+	time.Sleep(50 * time.Millisecond) // let consumers absorb the tail
+	cancel()
+	wg.Wait()
+	if ep := errOnce.Load(); ep != nil {
+		return cellResult{}, *ep
+	}
+
+	res := cellResult{
+		Name:       spec.name(),
+		Clients:    spec.Clients,
+		Batch:      spec.Batch,
+		Capacity:   spec.Capacity,
+		DurationMs: elapsed.Milliseconds(),
+		Items:      items.Load(),
+		Retries:    retries.Load(),
+	}
+	res.ThroughputPerSec = float64(res.Items) / elapsed.Seconds()
+	if len(rtts) > 0 {
+		sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+		res.EnqueueP50Ms = float64(rtts[len(rtts)/2].Microseconds()) / 1000
+		res.EnqueueP99Ms = float64(rtts[len(rtts)*99/100].Microseconds()) / 1000
+	}
+	return res, nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"net/http"
+	"os/exec"
+	"syscall"
+	"time"
+)
+
+// proc is one spawned qserve process under test.
+type proc struct {
+	cmd    *exec.Cmd
+	addr   string // host:port
+	base   string // http://host:port
+	stderr bytes.Buffer
+}
+
+// spawnQserve starts the binary on a fresh loopback port and waits for
+// /healthz to answer 200.
+func spawnQserve(path string, capacity int64, extra ...string) (*proc, error) {
+	addr, err := freeAddr()
+	if err != nil {
+		return nil, err
+	}
+	args := []string{
+		"-addr", addr,
+		"-capacity", fmt.Sprint(capacity),
+		"-quiet",
+	}
+	args = append(args, extra...)
+	p := &proc{cmd: exec.Command(path, args...), addr: addr, base: "http://" + addr}
+	p.cmd.Stderr = &p.stderr
+	if err := p.cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start qserve: %w", err)
+	}
+	if err := p.waitHealthy(10 * time.Second); err != nil {
+		p.kill()
+		return nil, err
+	}
+	return p, nil
+}
+
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+func (p *proc) waitHealthy(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(p.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("qserve on %s never became healthy; stderr:\n%s", p.addr, p.stderr.String())
+}
+
+// terminate sends SIGTERM (the graceful-drain signal) and returns.
+func (p *proc) terminate() error {
+	return p.cmd.Process.Signal(syscall.SIGTERM)
+}
+
+// waitExit blocks for process exit and returns its exit code.
+func (p *proc) waitExit(timeout time.Duration) (int, error) {
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			return 0, nil
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode(), nil
+		}
+		return -1, err
+	case <-time.After(timeout):
+		p.kill()
+		return -1, fmt.Errorf("qserve did not exit within %v of SIGTERM; stderr:\n%s", timeout, p.stderr.String())
+	}
+}
+
+// kill is the ungraceful cleanup for scenarios that end with the server
+// still up.
+func (p *proc) kill() {
+	_ = p.cmd.Process.Kill()
+	_, _ = p.cmd.Process.Wait()
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// killerProxy forwards TCP to a backend and, while armed, murders a
+// fraction of connections after a short random delay — mid-request,
+// mid-response, wherever the delay lands. This is the fault a real network
+// front end meets: the client cannot tell a request that never arrived
+// from an accept whose response died on the wire.
+type killerProxy struct {
+	l       net.Listener
+	backend string
+	prob    float64 // kill probability per connection while armed
+	armed   atomic.Bool
+	kills   atomic.Uint64
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+func newKillerProxy(backend string, prob float64) (*killerProxy, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &killerProxy{
+		l:       l,
+		backend: backend,
+		prob:    prob,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	go p.accept()
+	return p, nil
+}
+
+func (p *killerProxy) addr() string { return p.l.Addr().String() }
+func (p *killerProxy) arm()         { p.armed.Store(true) }
+func (p *killerProxy) disarm()      { p.armed.Store(false) }
+
+func (p *killerProxy) close() {
+	close(p.done)
+	p.l.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+func (p *killerProxy) accept() {
+	for {
+		client, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		go p.serve(client)
+	}
+}
+
+func (p *killerProxy) serve(client net.Conn) {
+	server, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.mu.Lock()
+	p.conns[client] = struct{}{}
+	p.conns[server] = struct{}{}
+	// The kill delay is short enough to land mid-exchange on a fast
+	// loopback request, not just on an idle connection afterwards.
+	doomed := p.armed.Load() && p.rng.Float64() < p.prob
+	var delay time.Duration
+	if doomed {
+		delay = time.Duration(p.rng.Int63n(int64(1500 * time.Microsecond)))
+	}
+	p.mu.Unlock()
+
+	if doomed {
+		kill := time.AfterFunc(delay, func() {
+			p.kills.Add(1)
+			client.Close()
+			server.Close()
+		})
+		defer kill.Stop()
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); io.Copy(server, client); server.Close() }()
+	go func() { defer wg.Done(); io.Copy(client, server); client.Close() }()
+	wg.Wait()
+	p.mu.Lock()
+	delete(p.conns, client)
+	delete(p.conns, server)
+	p.mu.Unlock()
+}

@@ -1,0 +1,116 @@
+// Command qserve is queue-as-a-service: one LCRQ behind an HTTP/JSON front
+// end with the resilience layer wired in (internal/resilience/server).
+//
+//	qserve -addr :8080 -capacity 65536
+//
+// Endpoints: POST /v1/enqueue, POST /v1/dequeue (long-polling), GET
+// /healthz (503 once draining, for load balancers), GET /statsz, GET
+// /metrics (Prometheus), POST /admin/drain. See DESIGN.md §12 for the wire
+// protocol and the shed/drain state machine.
+//
+// SIGTERM or SIGINT begins the graceful drain: enqueues get 503
+// immediately, in-flight accepts settle, the queue closes, consumers drain
+// what remains under -drain-deadline, the listener shuts down, and the
+// process exits 0 — or 1 when the deadline expired with items still queued
+// (the orchestrator should know deliveries were abandoned).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lcrq"
+	"lcrq/internal/buildmeta"
+	"lcrq/internal/resilience"
+	"lcrq/internal/resilience/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		capacity      = flag.Int64("capacity", 0, "bound on queued items (0 = unbounded)")
+		maxBatch      = flag.Int("max-batch", 1024, "values per request, at most")
+		maxDeadline   = flag.Duration("max-deadline", 60*time.Second, "cap on client-requested waits")
+		drainDeadline = flag.Duration("drain-deadline", 30*time.Second, "how long consumers get to empty the queue after SIGTERM")
+		healthPoll    = flag.Duration("health-poll", 25*time.Millisecond, "shedder/drain-rate sampling interval")
+		watchdog      = flag.Duration("watchdog", 50*time.Millisecond, "watchdog check interval (0 disables; disables shedding too)")
+		recoverObs    = flag.Int("shed-recover", 2, "consecutive clean health polls before the shedder closes")
+		dedupCap      = flag.Int("dedup", 65536, "idempotency-key cache size (<0 disables)")
+		quiet         = flag.Bool("quiet", false, "suppress lifecycle logging")
+		version       = flag.Bool("version", false, "print build metadata and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(buildmeta.Collect())
+		return
+	}
+
+	opts := []lcrq.Option{lcrq.WithTelemetry()}
+	if *capacity > 0 {
+		opts = append(opts, lcrq.WithCapacity(*capacity))
+	}
+	if *watchdog > 0 {
+		opts = append(opts, lcrq.WithWatchdog(*watchdog))
+	}
+	q := lcrq.New(opts...)
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := server.New(server.Config{
+		Queue:         q,
+		MaxBatch:      *maxBatch,
+		MaxDeadline:   *maxDeadline,
+		DrainDeadline: *drainDeadline,
+		HealthPoll:    *healthPoll,
+		Shed:          resilience.ShedConfig{RecoverObservations: *recoverObs},
+		DedupCapacity: *dedupCap,
+		Logf:          logf,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	logf("qserve: serving on %s (capacity %d, watchdog %v, commit %s)",
+		*addr, *capacity, *watchdog, buildmeta.Collect().Commit)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		log.Fatalf("qserve: listener: %v", err)
+	case s := <-sig:
+		logf("qserve: %v — draining", s)
+	}
+
+	// Graceful exit: drain the queue first (dequeues keep flowing through
+	// the open listener), then shut the listener so in-flight responses
+	// flush, then close.
+	exit := 0
+	if err := srv.Drain(context.Background()); err != nil {
+		logf("qserve: %v", err)
+		exit = 1
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		logf("qserve: listener shutdown: %v", err)
+	}
+	srv.Close()
+	if exit != 0 {
+		fmt.Fprintln(os.Stderr, "qserve: exited with undelivered items")
+	}
+	os.Exit(exit)
+}

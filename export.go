@@ -3,9 +3,9 @@ package lcrq
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
-	"strings"
 )
 
 // MetricsHandler returns an http.Handler that serves the queue's telemetry
@@ -21,11 +21,15 @@ import (
 func (q *Queue) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		var b strings.Builder
-		writeProm(&b, q.Metrics())
-		_, _ = w.Write([]byte(b.String()))
+		WritePrometheus(w, q.Metrics())
 	})
 }
+
+// WritePrometheus writes the metrics snapshot m to w in the Prometheus text
+// exposition format (version 0.0.4). MetricsHandler uses it; servers that
+// compose the queue's series with their own on one scrape endpoint (e.g.
+// cmd/qserve appending its shed/drain/retry counters) call it directly.
+func WritePrometheus(w io.Writer, m Metrics) { writeProm(w, m) }
 
 // PublishExpvar publishes the queue's Metrics under the given name in the
 // process-wide expvar registry (served at /debug/vars by the default mux).
@@ -35,7 +39,7 @@ func (q *Queue) PublishExpvar(name string) {
 	expvar.Publish(name, expvar.Func(func() any { return q.Metrics() }))
 }
 
-func writeProm(b *strings.Builder, m Metrics) {
+func writeProm(b io.Writer, m Metrics) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}

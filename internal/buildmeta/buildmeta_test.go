@@ -1,0 +1,58 @@
+package buildmeta
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestCollect: every field the trajectory tooling keys on must be
+// populated — in particular the commit must resolve inside this git
+// checkout (test binaries carry no VCS stamp, so this exercises the
+// env/git fallbacks too).
+func TestCollect(t *testing.T) {
+	m := Collect()
+	if m.GoMaxProcs < 1 {
+		t.Errorf("GoMaxProcs = %d, want >= 1", m.GoMaxProcs)
+	}
+	if m.GoVersion == "" {
+		t.Error("GoVersion empty")
+	}
+	if _, err := time.Parse(time.RFC3339, m.Timestamp); err != nil {
+		t.Errorf("Timestamp %q not RFC 3339: %v", m.Timestamp, err)
+	}
+	if m.Commit == "" {
+		t.Error("Commit empty (want a revision or the explicit \"unknown\")")
+	}
+	if m.Commit == "unknown" {
+		t.Log("commit resolved to \"unknown\" — no git checkout visible")
+	}
+}
+
+// TestEnvOverride: LCRQ_COMMIT wins over every other source, so CI can pin
+// the exact checked-out revision regardless of how the tool was invoked.
+func TestEnvOverride(t *testing.T) {
+	t.Setenv("LCRQ_COMMIT", "deadbeef")
+	m := Collect()
+	if m.Commit != "deadbeef" || m.Dirty {
+		t.Fatalf("Collect with LCRQ_COMMIT = %+v, want commit deadbeef, clean", m)
+	}
+}
+
+// TestMarshalShape: the JSON field names are the sidecar contract the
+// e2e baseline comparator parses; lock them.
+func TestMarshalShape(t *testing.T) {
+	b, err := json.Marshal(Meta{Commit: "c", GoMaxProcs: 4, GoVersion: "go", Timestamp: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"commit", "gomaxprocs", "go_version", "timestamp"} {
+		if _, ok := out[k]; !ok {
+			t.Errorf("marshalled Meta missing %q: %s", k, b)
+		}
+	}
+}

@@ -40,22 +40,30 @@ const (
 	// EvWatchdogAlert: the watchdog's health verdict transitioned from ok
 	// to a detected problem (tantrum storm, capacity stall, epoch stall).
 	EvWatchdogAlert
+	// EvWatchdogRecover: the watchdog's health verdict returned to ok after
+	// a problem, having stayed clean for the recovery hysteresis window
+	// (consecutive ok ticks). Every EvWatchdogAlert is eventually paired
+	// with an EvWatchdogRecover unless the queue closes first, so a
+	// consumer of the event trace (e.g. a load shedder) can follow the
+	// health state machine without polling.
+	EvWatchdogRecover
 
 	// NumRingEvents is the number of event kinds; it is not itself an event.
 	NumRingEvents
 )
 
 var ringEventNames = [NumRingEvents]string{
-	EvRingClose:      "ring-close",
-	EvRingTantrum:    "ring-tantrum",
-	EvRingAppend:     "ring-append",
-	EvRingRecycle:    "ring-recycle",
-	EvRingRetire:     "ring-retire",
-	EvQueueClose:     "queue-close",
-	EvCapacityReject: "capacity-reject",
-	EvEpochStall:     "epoch-stall",
-	EvOrphanRecover:  "orphan-recover",
-	EvWatchdogAlert:  "watchdog-alert",
+	EvRingClose:       "ring-close",
+	EvRingTantrum:     "ring-tantrum",
+	EvRingAppend:      "ring-append",
+	EvRingRecycle:     "ring-recycle",
+	EvRingRetire:      "ring-retire",
+	EvQueueClose:      "queue-close",
+	EvCapacityReject:  "capacity-reject",
+	EvEpochStall:      "epoch-stall",
+	EvOrphanRecover:   "orphan-recover",
+	EvWatchdogAlert:   "watchdog-alert",
+	EvWatchdogRecover: "watchdog-recover",
 }
 
 // String returns the event's stable name, as used in traces and exporters.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"lcrq/internal/buildmeta"
 	"lcrq/internal/harness"
 )
 
@@ -95,6 +96,17 @@ func JSONBatchSweep(w io.Writer, r *harness.BatchSweepResult) error {
 	})
 }
 
+// encode writes v as indented JSON with the run's provenance stamped in as
+// "meta" (commit, GOMAXPROCS, timestamp — see internal/buildmeta). Every
+// sidecar gets the stamp, so any two BENCH_*.json artifacts are directly
+// comparable without out-of-band notes about which tree produced them.
+func encode(w io.Writer, v map[string]any) error {
+	v["meta"] = buildmeta.Collect()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
 // JSONTable writes a statistics table as JSON.
 func JSONTable(w io.Writer, r *harness.TableResult) error {
 	return encode(w, map[string]any{
@@ -102,10 +114,4 @@ func JSONTable(w io.Writer, r *harness.TableResult) error {
 		"title": r.Spec.Title,
 		"cells": r.Cells,
 	})
-}
-
-func encode(w io.Writer, v any) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(v)
 }

@@ -1,0 +1,46 @@
+package client
+
+import "sync"
+
+// budget is a retry budget in the token-bucket shape: every first attempt
+// deposits ratio tokens, every retry withdraws one whole token, and the
+// balance is capped at burst. Steady-state, retries are at most ratio
+// times the request rate — a hard ceiling on how much extra load this
+// client can add to a server that is already failing. The bucket starts
+// full so an isolated failure right after startup can still retry.
+//
+// (The alternative — unbounded per-request retries — multiplies offered
+// load by MaxAttempts exactly when the server is saturated, which is how
+// retry storms turn a brownout into an outage.)
+type budget struct {
+	mu      sync.Mutex
+	ratio   float64
+	burst   float64
+	balance float64
+}
+
+func newBudget(ratio float64, burst int) *budget {
+	return &budget{ratio: ratio, burst: float64(burst), balance: float64(burst)}
+}
+
+// deposit credits one first attempt.
+func (b *budget) deposit() {
+	b.mu.Lock()
+	b.balance += b.ratio
+	if b.balance > b.burst {
+		b.balance = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// withdraw spends one retry; it reports false (and spends nothing) when
+// less than a whole token is available.
+func (b *budget) withdraw() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.balance < 1 {
+		return false
+	}
+	b.balance--
+	return true
+}

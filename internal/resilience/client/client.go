@@ -1,0 +1,342 @@
+// Package client is the retrying companion to internal/resilience/server:
+// a small library that speaks the qserve wire protocol with the failure
+// handling a caller would otherwise reinvent badly.
+//
+//   - Jittered exponential backoff between attempts, honoring the server's
+//     Retry-After hint when one arrives (a 429 carries the drain-rate
+//     estimate; guessing shorter just burns the retry budget).
+//   - A retry budget: retries spend from a bucket that refills as a
+//     fraction of first attempts, so a broken server gets a trickle of
+//     probes, not a storm that doubles its load exactly when it is least
+//     able to take it.
+//   - Idempotency keys on every enqueue batch, generated once per logical
+//     batch and resent verbatim on retry — the server's dedup cache turns
+//     an ambiguous transport failure ("did my accept land?") into a safe
+//     resend.
+//   - Pipelined bulk enqueue: EnqueueAll splits a value stream into batches
+//     and keeps a bounded number in flight, each batch retried
+//     independently under its own key.
+//
+// The client retries what the taxonomy marks retryable: transport errors,
+// 429 (shedding or full), and 504 (deadline). It does not retry 400 (the
+// request is wrong), 503 (the server is draining or closed — new work is
+// not wanted), or any other status.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lcrq/internal/resilience"
+)
+
+// Config configures a Client. BaseURL is required.
+type Config struct {
+	// BaseURL of the qserve instance, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient to use; http.DefaultClient when nil.
+	HTTPClient *http.Client
+
+	// MaxAttempts bounds tries per operation, first attempt included
+	// (default 4). The context may end retries earlier; so may the budget.
+	MaxAttempts int
+	// BackoffMin is the first retry's base delay (default 10ms); each
+	// subsequent retry doubles it up to BackoffMax (default 2s). The actual
+	// sleep is uniformly jittered in [base/2, base). A server Retry-After
+	// overrides the base when it is longer.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+
+	// RetryBudgetRatio sets how many retries the budget earns per first
+	// attempt (default 0.2: one retry per five requests, steady-state).
+	// RetryBudgetBurst is the bucket's cap (default 10), which is also the
+	// initial balance so cold starts can retry at all.
+	RetryBudgetRatio float64
+	RetryBudgetBurst int
+
+	// KeyPrefix namespaces idempotency keys (default: a random per-client
+	// token). Two clients must not share a prefix.
+	KeyPrefix string
+}
+
+// Client speaks the qserve protocol with retries. Safe for concurrent use.
+type Client struct {
+	cfg    Config
+	http   *http.Client
+	budget *budget
+	keySeq atomic.Uint64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Retries counts retry attempts actually sent; BudgetDenied counts
+	// retries the budget suppressed. Exposed for tests and load drivers.
+	Retries      atomic.Uint64
+	BudgetDenied atomic.Uint64
+}
+
+// New returns a Client for the server at cfg.BaseURL.
+func New(cfg Config) *Client {
+	if cfg.BaseURL == "" {
+		panic("client.New: Config.BaseURL is required")
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 10 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.BackoffMax < cfg.BackoffMin {
+		cfg.BackoffMax = cfg.BackoffMin
+	}
+	if cfg.RetryBudgetRatio <= 0 {
+		cfg.RetryBudgetRatio = 0.2
+	}
+	if cfg.RetryBudgetBurst <= 0 {
+		cfg.RetryBudgetBurst = 10
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	if cfg.KeyPrefix == "" {
+		cfg.KeyPrefix = fmt.Sprintf("c%08x", rng.Uint32())
+	}
+	return &Client{
+		cfg:    cfg,
+		http:   cfg.HTTPClient,
+		budget: newBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst),
+		rng:    rng,
+	}
+}
+
+// APIError is a non-2xx answer from the server, decoded.
+type APIError struct {
+	Status     int
+	Token      string // wire token: "shedding", "full", "draining", ...
+	Detail     string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("qserve: %s (%d): %s", e.Token, e.Status, e.Detail)
+}
+
+// Retryable reports whether the protocol permits retrying this answer.
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusGatewayTimeout
+}
+
+// ErrBudgetExhausted is wrapped into the returned error when a retryable
+// failure could not be retried because the retry budget was empty.
+var ErrBudgetExhausted = errors.New("client: retry budget exhausted")
+
+// Enqueue sends values as one batch, retrying under one idempotency key
+// until accepted, a terminal answer, the attempt cap, the budget, or ctx.
+// It returns how many leading values the server holds. A partial accept is
+// success: the caller resends the tail as a new batch (EnqueueAll does).
+func (c *Client) Enqueue(ctx context.Context, values []uint64, timeout time.Duration) (int, error) {
+	return c.EnqueueKeyed(ctx, fmt.Sprintf("%s-%d", c.cfg.KeyPrefix, c.keySeq.Add(1)), values, timeout)
+}
+
+// EnqueueKeyed is Enqueue under a caller-chosen idempotency key. Use it
+// when the outcome must be resolvable across client instances or retry
+// loops: any later send of the same key and batch — from this client or
+// another — answers from the server's record instead of enqueueing again,
+// so a batch whose response was lost to a dead connection can be settled
+// definitively by resending it.
+func (c *Client) EnqueueKeyed(ctx context.Context, key string, values []uint64, timeout time.Duration) (int, error) {
+	req := resilience.EnqueueRequest{
+		Values:         values,
+		TimeoutMs:      timeout.Milliseconds(),
+		IdempotencyKey: key,
+	}
+	var out resilience.EnqueueResponse
+	err := c.do(ctx, "/v1/enqueue", req, &out)
+	return out.Accepted, err
+}
+
+// Dequeue asks for up to max values, long-polling up to wait. An immediate
+// probe (wait 0) of an empty queue returns ([], nil); a long-poll that
+// stays empty surfaces the server's 504 as a retryable *APIError, so the
+// retry loop (budget permitting) keeps polling. A 503 *APIError with token
+// "closed" is terminal: the queue is drained for good.
+func (c *Client) Dequeue(ctx context.Context, max int, wait time.Duration) ([]uint64, error) {
+	req := resilience.DequeueRequest{Max: max, WaitMs: wait.Milliseconds()}
+	var out resilience.DequeueResponse
+	if err := c.do(ctx, "/v1/dequeue", req, &out); err != nil {
+		return nil, err
+	}
+	return out.Values, nil
+}
+
+// EnqueueAll pushes every value, splitting into batches of batchSize and
+// keeping up to inflight batches pipelined, each retried independently
+// under its own idempotency key. It stops at the first terminal failure
+// and returns how many values were confirmed accepted.
+func (c *Client) EnqueueAll(ctx context.Context, values []uint64, batchSize, inflight int) (int, error) {
+	if batchSize <= 0 {
+		batchSize = 64
+	}
+	if inflight <= 0 {
+		inflight = 4
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		accepted atomic.Uint64
+		firstErr atomic.Pointer[error]
+		sem      = make(chan struct{}, inflight)
+		wg       sync.WaitGroup
+	)
+	for lo := 0; lo < len(values); lo += batchSize {
+		hi := min(lo+batchSize, len(values))
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			// Cancelled — possibly by a worker's terminal failure, whose
+			// error (not the derived cancellation) is the answer.
+			wg.Wait()
+			if ep := firstErr.Load(); ep != nil {
+				return int(accepted.Load()), *ep
+			}
+			return int(accepted.Load()), ctx.Err()
+		}
+		wg.Add(1)
+		go func(batch []uint64) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			// A batch may be partially accepted (budget ran out mid-batch):
+			// resend the tail as fresh batches until done or a terminal error.
+			for len(batch) > 0 {
+				n, err := c.Enqueue(ctx, batch, 5*time.Second)
+				accepted.Add(uint64(n))
+				batch = batch[n:]
+				if err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					cancel()
+					return
+				}
+			}
+		}(values[lo:hi])
+	}
+	wg.Wait()
+	if ep := firstErr.Load(); ep != nil {
+		return int(accepted.Load()), *ep
+	}
+	return int(accepted.Load()), nil
+}
+
+// do runs one request with the retry loop.
+func (c *Client) do(ctx context.Context, path string, reqBody, respBody any) error {
+	payload, err := json.Marshal(reqBody)
+	if err != nil {
+		return err
+	}
+	c.budget.deposit()
+
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			// A retry must clear the budget first, then wait out the backoff.
+			if !c.budget.withdraw() {
+				c.BudgetDenied.Add(1)
+				return fmt.Errorf("%w after %w", ErrBudgetExhausted, lastErr)
+			}
+			c.Retries.Add(1)
+			if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
+				return err
+			}
+		}
+		lastErr = c.once(ctx, path, payload, respBody)
+		if lastErr == nil {
+			return nil
+		}
+		var apiErr *APIError
+		if errors.As(lastErr, &apiErr) && !apiErr.Retryable() {
+			return lastErr
+		}
+		if ctx.Err() != nil {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// once performs a single HTTP exchange.
+func (c *Client) once(ctx context.Context, path string, payload []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err // transport failure: retryable (keys make resends safe)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return json.Unmarshal(data, out)
+	}
+	apiErr := &APIError{Status: resp.StatusCode}
+	var e resilience.ErrorResponse
+	if json.Unmarshal(data, &e) == nil {
+		apiErr.Token, apiErr.Detail = e.Error, e.Detail
+		if e.RetryAfterSec > 0 {
+			apiErr.RetryAfter = time.Duration(e.RetryAfterSec) * time.Second
+		}
+	}
+	if apiErr.RetryAfter == 0 {
+		if s, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && s > 0 {
+			apiErr.RetryAfter = time.Duration(s) * time.Second
+		}
+	}
+	return apiErr
+}
+
+// backoff computes the sleep before retry number attempt (1-based): the
+// exponential base, raised to any server Retry-After, jittered to
+// [base/2, base) so synchronized clients desynchronize.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	base := c.cfg.BackoffMin << (attempt - 1)
+	if base > c.cfg.BackoffMax || base <= 0 {
+		base = c.cfg.BackoffMax
+	}
+	var apiErr *APIError
+	if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > base {
+		base = apiErr.RetryAfter
+	}
+	c.mu.Lock()
+	jittered := base/2 + time.Duration(c.rng.Int63n(int64(base/2)+1))
+	c.mu.Unlock()
+	return jittered
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

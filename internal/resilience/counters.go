@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Counters is the front end's operation ledger: everything the resilience
+// stack did to traffic, as monotonic counters. The queue's own Metrics
+// describe what happened *inside* the queue; these describe what happened
+// at the wire — requests shed before touching the queue, rejects mapped to
+// status codes, drains, idempotent replays. Exported alongside the queue's
+// series on the same Prometheus scrape (WritePrometheus) and via expvar.
+type Counters struct {
+	EnqueueRequests atomic.Uint64 // enqueue RPCs received
+	DequeueRequests atomic.Uint64 // dequeue RPCs received
+	ItemsAccepted   atomic.Uint64 // items admitted into the queue
+	ItemsDelivered  atomic.Uint64 // items handed to dequeue RPC responses
+
+	ShedRejects    atomic.Uint64 // enqueues rejected by the admission controller (pre-hot-path)
+	FullRejects    atomic.Uint64 // enqueues rejected with 429: queue full for the request deadline
+	ClosedRejects  atomic.Uint64 // requests rejected with 503: draining or closed
+	DeadlineExpiry atomic.Uint64 // requests that ran out their deadline (504)
+	ClientCancels  atomic.Uint64 // requests abandoned by the client mid-wait
+	BadRequests    atomic.Uint64 // malformed requests (400)
+	IdempotentHits atomic.Uint64 // enqueue batches answered from the dedup cache
+	DrainsBegun    atomic.Uint64 // serving→draining transitions (0 or 1 per process)
+	DrainedItems   atomic.Uint64 // items delivered after the drain began
+	DrainExpiry    atomic.Uint64 // drains that hit their deadline with items still queued
+	HealthPolls    atomic.Uint64 // health observations fed to the shedder
+}
+
+// counterSpec drives both exporters, keeping the Prometheus and snapshot
+// views mirror images of the struct (one row per field, names stable).
+type counterSpec struct {
+	name string
+	help string
+	v    *atomic.Uint64
+}
+
+func (c *Counters) specs() []counterSpec {
+	return []counterSpec{
+		{"lcrq_qserve_enqueue_requests_total", "Enqueue RPCs received.", &c.EnqueueRequests},
+		{"lcrq_qserve_dequeue_requests_total", "Dequeue RPCs received.", &c.DequeueRequests},
+		{"lcrq_qserve_items_accepted_total", "Items admitted into the queue.", &c.ItemsAccepted},
+		{"lcrq_qserve_items_delivered_total", "Items handed to dequeue responses.", &c.ItemsDelivered},
+		{"lcrq_qserve_shed_rejects_total", "Enqueues rejected by the admission controller before the hot path.", &c.ShedRejects},
+		{"lcrq_qserve_full_rejects_total", "Enqueues rejected 429: queue full for the whole request deadline.", &c.FullRejects},
+		{"lcrq_qserve_closed_rejects_total", "Requests rejected 503: draining or closed.", &c.ClosedRejects},
+		{"lcrq_qserve_deadline_expiry_total", "Requests that exhausted their deadline (504).", &c.DeadlineExpiry},
+		{"lcrq_qserve_client_cancels_total", "Requests abandoned by the client mid-wait.", &c.ClientCancels},
+		{"lcrq_qserve_bad_requests_total", "Malformed requests (400).", &c.BadRequests},
+		{"lcrq_qserve_idempotent_hits_total", "Enqueue batches answered from the idempotency cache.", &c.IdempotentHits},
+		{"lcrq_qserve_drains_begun_total", "Serving-to-draining transitions.", &c.DrainsBegun},
+		{"lcrq_qserve_drained_items_total", "Items delivered after the drain began.", &c.DrainedItems},
+		{"lcrq_qserve_drain_expiry_total", "Drains that hit their deadline with items still queued.", &c.DrainExpiry},
+		{"lcrq_qserve_health_polls_total", "Health observations fed to the shedder.", &c.HealthPolls},
+	}
+}
+
+// WritePrometheus writes the counters in the Prometheus text exposition
+// format, shaped to concatenate after lcrq.WritePrometheus on one scrape.
+func (c *Counters) WritePrometheus(w io.Writer) {
+	for _, s := range c.specs() {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", s.name, s.help, s.name, s.name, s.v.Load())
+	}
+}
+
+// Snapshot returns the counters by series name, for JSON debug endpoints
+// and expvar publication.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, 16)
+	for _, s := range c.specs() {
+		out[s.name] = s.v.Load()
+	}
+	return out
+}

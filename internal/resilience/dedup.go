@@ -1,0 +1,89 @@
+package resilience
+
+import "sync"
+
+// A Dedup is the idempotency cache that makes enqueue-batch retries safe
+// over an unreliable wire. A client whose connection dies after the server
+// processed its batch but before the response arrived cannot know whether
+// the items landed; without dedup its only choices are "don't retry"
+// (possible loss from the client's view) or "retry" (possible duplication).
+// With each batch carrying a client-chosen idempotency key, a replay of a
+// key the server already executed returns the recorded outcome instead of
+// enqueueing again — the retry becomes idempotent, and the client library
+// can retry transport failures freely.
+//
+// The cache is bounded FIFO: it remembers the most recent cap outcomes and
+// evicts the oldest beyond that. A replay arriving after its key was
+// evicted is executed as a fresh batch, so the cap must comfortably exceed
+// the number of batches a client fleet can have in flight across one retry
+// horizon (the default in cmd/qserve is 65536).
+type Dedup struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]DedupOutcome
+	order   []string // FIFO eviction ring
+	head    int      // next eviction slot in order
+	replays uint64
+}
+
+// DedupOutcome is the recorded result of an executed batch.
+type DedupOutcome struct {
+	Accepted int // items accepted
+	Status   int // HTTP status the original execution reported
+}
+
+// NewDedup returns a cache remembering the outcomes of the most recent
+// capacity keys. capacity <= 0 disables dedup (every Seen misses).
+func NewDedup(capacity int) *Dedup {
+	d := &Dedup{cap: capacity}
+	if capacity > 0 {
+		d.entries = make(map[string]DedupOutcome, capacity)
+		d.order = make([]string, 0, capacity)
+	}
+	return d
+}
+
+// Seen looks up a key, reporting the recorded outcome of its original
+// execution if the key was executed recently.
+func (d *Dedup) Seen(key string) (DedupOutcome, bool) {
+	if d.cap <= 0 || key == "" {
+		return DedupOutcome{}, false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out, ok := d.entries[key]
+	if ok {
+		d.replays++
+	}
+	return out, ok
+}
+
+// Record stores the outcome of an executed key, evicting the oldest entry
+// once the cache is full. Recording the same key twice keeps the first
+// outcome (the one a replayer must see).
+func (d *Dedup) Record(key string, out DedupOutcome) {
+	if d.cap <= 0 || key == "" {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.entries[key]; dup {
+		return
+	}
+	if len(d.order) < d.cap {
+		d.order = append(d.order, key)
+	} else {
+		delete(d.entries, d.order[d.head])
+		d.order[d.head] = key
+		d.head = (d.head + 1) % d.cap
+	}
+	d.entries[key] = out
+}
+
+// Replays returns how many lookups hit a recorded outcome — each one is a
+// duplicate execution that dedup prevented.
+func (d *Dedup) Replays() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.replays
+}

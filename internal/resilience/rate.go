@@ -1,0 +1,98 @@
+package resilience
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// rateWindow is how much observation history the drain-rate estimator
+// keeps. Old samples age out so the estimate tracks the *recent* consumer
+// rate — a Retry-After hint derived from last minute's throughput is
+// misinformation if the consumers just stalled.
+const rateWindow = 10 * time.Second
+
+// retryAfterMin / retryAfterMax clamp the Retry-After hint. The floor is
+// the HTTP header's resolution (whole seconds — 0 would mean "retry now",
+// defeating backpressure); the ceiling keeps a stalled queue from telling
+// clients to go away for minutes on an estimate that is, at that point,
+// extrapolation from zero signal.
+const (
+	retryAfterMin = 1 * time.Second
+	retryAfterMax = 30 * time.Second
+)
+
+// A DrainRate estimates how fast consumers are draining the queue from
+// successive observations of the completed-dequeue counter, and turns the
+// estimate into Retry-After hints for rejected producers. It is the wire
+// analog of the backoff the in-process EnqueueWait performs: instead of
+// sleeping inside the server, the client is told when budget is likely to
+// exist and spends the wait on its own side of the wire.
+type DrainRate struct {
+	mu      sync.Mutex
+	samples []rateSample // time-ordered, trimmed to rateWindow
+}
+
+type rateSample struct {
+	at    time.Time
+	taken uint64 // cumulative completed dequeues (calls minus empty results)
+}
+
+// Observe records one reading of the cumulative completed-dequeue counter.
+func (r *DrainRate) Observe(now time.Time, taken uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples = append(r.samples, rateSample{at: now, taken: taken})
+	cut := now.Add(-rateWindow)
+	i := 0
+	for i < len(r.samples)-1 && r.samples[i].at.Before(cut) {
+		i++
+	}
+	r.samples = r.samples[i:]
+}
+
+// PerSecond returns the drain rate over the observation window, in items
+// per second; 0 while fewer than two samples (or no progress) have been
+// seen.
+func (r *DrainRate) PerSecond() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) < 2 {
+		return 0
+	}
+	first, last := r.samples[0], r.samples[len(r.samples)-1]
+	dt := last.at.Sub(first.at).Seconds()
+	if dt <= 0 || last.taken <= first.taken {
+		return 0
+	}
+	return float64(last.taken-first.taken) / dt
+}
+
+// RetryAfter estimates how long a rejected producer should wait before
+// retrying, given the current queue depth: the time for consumers, at the
+// observed rate, to drain an eighth of the backlog — enough headroom that
+// the retry is likely to be admitted, without synchronizing every shed
+// client onto the same full drain horizon. The result is clamped to
+// [1s, 30s] and rounded up to whole seconds (the Retry-After header's
+// unit); with no observed drain (stalled or brand-new consumers) it is the
+// 1s floor, which keeps shed clients polling rather than parked against a
+// queue whose recovery time nobody can estimate.
+func (r *DrainRate) RetryAfter(depth int64) time.Duration {
+	rate := r.PerSecond()
+	if rate <= 0 || depth <= 0 {
+		return retryAfterMin
+	}
+	backlog := float64(depth) / 8
+	if backlog < 1 {
+		backlog = 1
+	}
+	secs := math.Ceil(backlog / rate)
+	d := time.Duration(secs) * time.Second
+	if d < retryAfterMin {
+		d = retryAfterMin
+	}
+	if d > retryAfterMax {
+		d = retryAfterMax
+	}
+	return d
+}

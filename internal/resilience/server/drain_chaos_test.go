@@ -1,0 +1,23 @@
+//go:build chaos
+
+package server
+
+import (
+	"testing"
+
+	"lcrq/internal/chaos"
+)
+
+// TestDrainExactlyOnceChaos runs the mid-drain exactly-once scenario with
+// every fault-injection point armed: scheduler preemptions and delays land
+// inside ring closes, tantrums, appends, and reclamation while producers
+// and consumers are mid-RPC and the drain races them. The accounting
+// contract is the same as the untagged test — every accepted item is
+// delivered exactly once before the queue reports drained, and nothing is
+// accepted after — the faults only widen the interleavings it must hold
+// under.
+func TestDrainExactlyOnceChaos(t *testing.T) {
+	chaos.EnableAll(0.02)
+	defer chaos.Reset()
+	runDrainScenario(t)
+}

@@ -1,0 +1,483 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lcrq"
+	"lcrq/internal/resilience"
+)
+
+func newTestServer(t *testing.T, cfg Config, qopts ...lcrq.Option) (*httptest.Server, *Server, *lcrq.Queue) {
+	t.Helper()
+	q := lcrq.New(qopts...)
+	cfg.Queue = q
+	if cfg.HealthPoll == 0 {
+		cfg.HealthPoll = 2 * time.Millisecond
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts, s, q
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func enqueue(t *testing.T, base string, req resilience.EnqueueRequest) (int, *http.Response, []byte) {
+	t.Helper()
+	resp, data := postJSON(t, base+"/v1/enqueue", req)
+	var out resilience.EnqueueResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("enqueue response %q: %v", data, err)
+		}
+	}
+	return out.Accepted, resp, data
+}
+
+func dequeue(t *testing.T, base string, req resilience.DequeueRequest) ([]uint64, *http.Response) {
+	t.Helper()
+	resp, data := postJSON(t, base+"/v1/dequeue", req)
+	var out resilience.DequeueResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatalf("dequeue response %q: %v", data, err)
+		}
+	}
+	return out.Values, resp
+}
+
+// TestRoundTrip: values go in over the wire and come back in FIFO order.
+func TestRoundTrip(t *testing.T) {
+	ts, _, _ := newTestServer(t, Config{})
+	n, resp, _ := enqueue(t, ts.URL, resilience.EnqueueRequest{Values: []uint64{1, 2, 3}})
+	if resp.StatusCode != 200 || n != 3 {
+		t.Fatalf("enqueue = %d accepted, status %d", n, resp.StatusCode)
+	}
+	vs, resp := dequeue(t, ts.URL, resilience.DequeueRequest{Max: 10})
+	if resp.StatusCode != 200 || len(vs) != 3 || vs[0] != 1 || vs[1] != 2 || vs[2] != 3 {
+		t.Fatalf("dequeue = %v, status %d", vs, resp.StatusCode)
+	}
+	// Empty, no wait: 200 with empty values, not an error.
+	vs, resp = dequeue(t, ts.URL, resilience.DequeueRequest{Max: 1})
+	if resp.StatusCode != 200 || len(vs) != 0 {
+		t.Fatalf("empty dequeue = %v, status %d", vs, resp.StatusCode)
+	}
+}
+
+// TestErrorMapping drives the full wire error taxonomy of DESIGN.md §12.
+func TestErrorMapping(t *testing.T) {
+	ts, s, _ := newTestServer(t, Config{MaxBatch: 4},
+		lcrq.WithCapacity(2), lcrq.WithWaitBackoff(time.Microsecond, 50*time.Microsecond))
+
+	// Malformed body, empty batch, oversize batch, reserved value → 400.
+	resp, err := http.Post(ts.URL+"/v1/enqueue", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("malformed enqueue = %d, want 400", resp.StatusCode)
+	}
+	for _, vals := range [][]uint64{{}, {1, 2, 3, 4, 5}, {uint64(lcrq.Reserved)}} {
+		if _, resp, _ := enqueue(t, ts.URL, resilience.EnqueueRequest{Values: vals}); resp.StatusCode != 400 {
+			t.Fatalf("bad batch %v = %d, want 400", vals, resp.StatusCode)
+		}
+	}
+
+	// Fill to capacity; the immediate (no-wait) overflow is a 429 "full"
+	// with a Retry-After hint.
+	if n, _, _ := enqueue(t, ts.URL, resilience.EnqueueRequest{Values: []uint64{1, 2}}); n != 2 {
+		t.Fatalf("fill accepted %d, want 2", n)
+	}
+	n, resp, data := enqueue(t, ts.URL, resilience.EnqueueRequest{Values: []uint64{3}})
+	if resp.StatusCode != 429 || n != 0 {
+		t.Fatalf("no-wait overflow = %d accepted, status %d (%s)", n, resp.StatusCode, data)
+	}
+	var e resilience.ErrorResponse
+	if err := json.Unmarshal(data, &e); err != nil || e.Error != resilience.ErrTokenFull {
+		t.Fatalf("overflow body = %s", data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+
+	// Full for the whole (short) deadline → still 429, after waiting.
+	start := time.Now()
+	_, resp, _ = enqueue(t, ts.URL, resilience.EnqueueRequest{Values: []uint64{3}, TimeoutMs: 50})
+	if resp.StatusCode != 429 {
+		t.Fatalf("deadline overflow status = %d, want 429", resp.StatusCode)
+	}
+	if time.Since(start) < 40*time.Millisecond {
+		t.Fatalf("deadline overflow returned in %v — did not wait the deadline", time.Since(start))
+	}
+
+	// Empty long-poll → 504 deadline.
+	drainAll(t, ts.URL)
+	_, resp = dequeue(t, ts.URL, resilience.DequeueRequest{Max: 1, WaitMs: 30})
+	if resp.StatusCode != 504 {
+		t.Fatalf("empty long-poll = %d, want 504", resp.StatusCode)
+	}
+
+	// Drained server: enqueues 503, dequeues drain then 503, healthz 503.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if _, resp, _ := enqueue(t, ts.URL, resilience.EnqueueRequest{Values: []uint64{9}}); resp.StatusCode != 503 {
+		t.Fatalf("post-drain enqueue = %d, want 503", resp.StatusCode)
+	}
+	if _, resp := dequeue(t, ts.URL, resilience.DequeueRequest{Max: 1}); resp.StatusCode != 503 {
+		t.Fatalf("post-drain empty dequeue = %d, want 503", resp.StatusCode)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != 503 {
+		t.Fatalf("post-drain healthz = %d, want 503", hresp.StatusCode)
+	}
+}
+
+func drainAll(t *testing.T, base string) {
+	t.Helper()
+	for {
+		vs, resp := dequeue(t, base, resilience.DequeueRequest{Max: 64})
+		if resp.StatusCode != 200 || len(vs) == 0 {
+			return
+		}
+	}
+}
+
+// TestIdempotencyReplay: resending a batch under its idempotency key must
+// not enqueue twice — the recorded outcome answers.
+func TestIdempotencyReplay(t *testing.T) {
+	ts, s, q := newTestServer(t, Config{})
+	req := resilience.EnqueueRequest{Values: []uint64{10, 11}, IdempotencyKey: "batch-1"}
+	if n, _, _ := enqueue(t, ts.URL, req); n != 2 {
+		t.Fatal("first send rejected")
+	}
+	if n, resp, _ := enqueue(t, ts.URL, req); n != 2 || resp.StatusCode != 200 {
+		t.Fatalf("replay = %d accepted, status %d", n, resp.StatusCode)
+	}
+	if got := s.Counters().IdempotentHits.Load(); got != 1 {
+		t.Fatalf("IdempotentHits = %d, want 1", got)
+	}
+	if depth := q.Metrics().Depth; depth != 2 {
+		t.Fatalf("replay duplicated items: depth = %d, want 2", depth)
+	}
+	// A different key is a different batch.
+	req.IdempotencyKey = "batch-2"
+	if n, _, _ := enqueue(t, ts.URL, req); n != 2 {
+		t.Fatal("fresh key rejected")
+	}
+	if depth := q.Metrics().Depth; depth != 4 {
+		t.Fatalf("depth after fresh key = %d, want 4", depth)
+	}
+}
+
+// TestDeadlinePropagation: the client's timeout bounds the server-side
+// wait — a long-poll answers as soon as a value arrives, well within it.
+func TestDeadlinePropagation(t *testing.T) {
+	ts, _, q := newTestServer(t, Config{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		q.Enqueue(42)
+	}()
+	start := time.Now()
+	vs, resp := dequeue(t, ts.URL, resilience.DequeueRequest{Max: 1, WaitMs: 5000})
+	if resp.StatusCode != 200 || len(vs) != 1 || vs[0] != 42 {
+		t.Fatalf("long-poll = %v, status %d", vs, resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("long-poll took %v — value did not wake the wait", elapsed)
+	}
+}
+
+// TestMetricsScrape: one scrape carries the queue's series and the
+// server's, plus the lifecycle/shed gauges.
+func TestMetricsScrape(t *testing.T) {
+	ts, _, _ := newTestServer(t, Config{})
+	enqueue(t, ts.URL, resilience.EnqueueRequest{Values: []uint64{1}})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(data)
+	for _, series := range []string{
+		"lcrq_enqueues_total",
+		"lcrq_qserve_enqueue_requests_total 1",
+		"lcrq_qserve_items_accepted_total 1",
+		"lcrq_qserve_shedding 0",
+		`lcrq_qserve_state{state="serving"} 1`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("scrape missing %q:\n%s", series, text)
+		}
+	}
+}
+
+// TestShedAndRecover: a capacity-stalled queue must open the admission
+// controller (429 + X-Load-Shed before the hot path), and easing the load
+// must close it again, leaving a watchdog-recover event in the trace.
+func TestShedAndRecover(t *testing.T) {
+	ts, s, _ := newTestServer(t, Config{HealthPoll: time.Millisecond},
+		lcrq.WithCapacity(2), lcrq.WithWatchdog(2*time.Millisecond),
+		lcrq.WithWaitBackoff(time.Microsecond, 50*time.Microsecond))
+
+	// Fill, then hammer: every tick sees rejects and no consumer progress,
+	// so the watchdog flips to capacity-stall and the shedder opens. The
+	// shed answer is inspected inside the loop — once the shedder opens,
+	// rejects stop reaching the queue and the watchdog self-recovers, so
+	// "still shedding" is not stable to probe after the fact.
+	enqueue(t, ts.URL, resilience.EnqueueRequest{Values: []uint64{1, 2}})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("shedder never opened; shedding=%v counters=%v",
+				s.Shedding(), s.Counters().Snapshot())
+		}
+		_, resp, data := enqueue(t, ts.URL, resilience.EnqueueRequest{Values: []uint64{3}})
+		if resp.StatusCode == 429 && resp.Header.Get("X-Load-Shed") == "1" {
+			var e resilience.ErrorResponse
+			if err := json.Unmarshal(data, &e); err != nil || e.Error != resilience.ErrTokenShedding {
+				t.Fatalf("shed body = %s", data)
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("shed 429 without Retry-After")
+			}
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if s.Counters().ShedRejects.Load() == 0 {
+		t.Fatal("ShedRejects counter still zero after a shed 429")
+	}
+
+	// Ease the load: drain the queue, keep polling until admission reopens.
+	drainAll(t, ts.URL)
+	for s.Shedding() {
+		if time.Now().After(deadline) {
+			t.Fatalf("shedder never closed after load eased; statsz shed=%+v", s.shed.State())
+		}
+		drainAll(t, ts.URL)
+		time.Sleep(time.Millisecond)
+	}
+
+	// The recovery is visible in the event trace via /statsz.
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var stats struct {
+		RingEvents map[string]uint64 `json:"ring_events"`
+	}
+	if err := json.Unmarshal(data, &stats); err != nil {
+		t.Fatalf("statsz: %v (%s)", err, data)
+	}
+	if stats.RingEvents["watchdog-alert"] == 0 || stats.RingEvents["watchdog-recover"] == 0 {
+		t.Fatalf("statsz missing alert/recover events: %v", stats.RingEvents)
+	}
+
+	// Enqueues flow again.
+	if n, resp, _ := enqueue(t, ts.URL, resilience.EnqueueRequest{Values: []uint64{7}}); n != 1 {
+		t.Fatalf("post-recovery enqueue = %d accepted, status %d", n, resp.StatusCode)
+	}
+}
+
+// runDrainScenario is the drain exactly-once workload, shared between the
+// plain test and the chaos-tagged one (which arms the injection points
+// first): producers and consumers hammer the wire, a drain begins via the
+// admin entrypoint mid-traffic, and afterwards every accepted item must
+// have been delivered exactly once, with zero accepts after the drain.
+func runDrainScenario(t *testing.T) {
+	t.Helper()
+	ts, s, _ := newTestServer(t, Config{HealthPoll: 2 * time.Millisecond, DrainDeadline: 20 * time.Second},
+		lcrq.WithCapacity(256), lcrq.WithWatchdog(5*time.Millisecond),
+		lcrq.WithWaitBackoff(time.Microsecond, 100*time.Microsecond))
+
+	const producers, consumers, batch = 4, 4, 16
+	var (
+		mu        sync.Mutex
+		accepted  = make(map[uint64]bool)
+		delivered = make(map[uint64]int)
+	)
+	var wg sync.WaitGroup
+	stopProduce := make(chan struct{})
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			next := uint64(p+1) << 32
+			client := &http.Client{Timeout: 10 * time.Second}
+			for {
+				select {
+				case <-stopProduce:
+					return
+				default:
+				}
+				vals := make([]uint64, batch)
+				for i := range vals {
+					vals[i] = next + uint64(i)
+				}
+				body, _ := json.Marshal(resilience.EnqueueRequest{
+					Values: vals, TimeoutMs: 100,
+					IdempotencyKey: fmt.Sprintf("p%d-%d", p, next),
+				})
+				resp, err := client.Post(ts.URL+"/v1/enqueue", "application/json", bytes.NewReader(body))
+				if err != nil {
+					continue // transport failure: batch unconfirmed, key makes a retry safe but we simply move on
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case 200:
+					var out resilience.EnqueueResponse
+					if err := json.Unmarshal(data, &out); err != nil {
+						t.Errorf("enqueue response %q: %v", data, err)
+						return
+					}
+					mu.Lock()
+					for i := 0; i < out.Accepted; i++ {
+						accepted[vals[i]] = true
+					}
+					mu.Unlock()
+					next += uint64(out.Accepted)
+					if out.Accepted == 0 {
+						time.Sleep(time.Millisecond)
+					}
+				case 429:
+					time.Sleep(2 * time.Millisecond)
+				case 503:
+					return // draining: accepted set is final for this producer
+				default:
+					t.Errorf("unexpected enqueue status %d: %s", resp.StatusCode, data)
+					return
+				}
+			}
+		}(p)
+	}
+
+	consumerDone := make(chan struct{}, consumers)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { consumerDone <- struct{}{} }()
+			for {
+				resp, data := postJSON(t, ts.URL+"/v1/dequeue", resilience.DequeueRequest{Max: 32, WaitMs: 100})
+				switch resp.StatusCode {
+				case 200:
+					var out resilience.DequeueResponse
+					if err := json.Unmarshal(data, &out); err != nil {
+						t.Errorf("dequeue response %q: %v", data, err)
+						return
+					}
+					mu.Lock()
+					for _, v := range out.Values {
+						delivered[v]++
+					}
+					mu.Unlock()
+				case 504:
+					continue // empty poll
+				case 503:
+					return // closed and drained: terminal
+				default:
+					t.Errorf("unexpected dequeue status %d: %s", resp.StatusCode, data)
+					return
+				}
+			}
+		}()
+	}
+
+	// Traffic flows; then the drain arrives over the wire, mid-stream.
+	time.Sleep(100 * time.Millisecond)
+	resp, _ := postJSON(t, ts.URL+"/admin/drain", struct{}{})
+	if resp.StatusCode != 202 {
+		t.Fatalf("admin drain = %d, want 202", resp.StatusCode)
+	}
+	close(stopProduce)
+
+	// The shared drain result synchronizes with the admin-spawned one.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Post-drain accepts must be zero.
+	if n, resp, _ := enqueue(t, ts.URL, resilience.EnqueueRequest{Values: []uint64{1}}); resp.StatusCode != 503 || n != 0 {
+		t.Fatalf("post-drain enqueue = %d accepted, status %d, want 0/503", n, resp.StatusCode)
+	}
+
+	// Consumers observe closed-and-drained and stop on their own.
+	for i := 0; i < consumers; i++ {
+		select {
+		case <-consumerDone:
+		case <-time.After(20 * time.Second):
+			t.Fatal("consumer did not observe the drain completing")
+		}
+	}
+	wg.Wait()
+
+	// Exactly once: accepted == delivered, each exactly one time.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(accepted) == 0 {
+		t.Fatal("scenario accepted nothing — not a meaningful drain test")
+	}
+	for v := range accepted {
+		switch delivered[v] {
+		case 1:
+		case 0:
+			t.Fatalf("accepted item %d lost in the drain (accepted %d, delivered %d items)", v, len(accepted), len(delivered))
+		default:
+			t.Fatalf("accepted item %d delivered %d times", v, delivered[v])
+		}
+	}
+	for v, n := range delivered {
+		if !accepted[v] {
+			t.Fatalf("phantom item %d delivered (%d times) but never confirmed accepted", v, n)
+		}
+	}
+	if s.Counters().DrainsBegun.Load() != 1 {
+		t.Fatalf("DrainsBegun = %d, want 1", s.Counters().DrainsBegun.Load())
+	}
+}
+
+// TestDrainExactlyOnce: the graceful-drain contract under concurrent wire
+// traffic (see runDrainScenario).
+func TestDrainExactlyOnce(t *testing.T) {
+	runDrainScenario(t)
+}

@@ -1,0 +1,76 @@
+package resilience
+
+// Wire types of the qserve HTTP/JSON protocol, shared by the server
+// (internal/resilience/server), the client library
+// (internal/resilience/client), and the e2e driver (cmd/qload).
+//
+// Values are uint64, carried as JSON numbers: exact through Go's
+// encoder/decoder at any magnitude, but JavaScript consumers lose precision
+// past 2^53 — keep wire values below that if a JS client is in the loop.
+
+// EnqueueRequest asks the server to append Values in order.
+type EnqueueRequest struct {
+	// Values to enqueue, in order. Must be non-empty and at most the
+	// server's max batch size; lcrq.Reserved is rejected.
+	Values []uint64 `json:"values"`
+	// TimeoutMs > 0 lets the server wait up to this long for a bounded
+	// queue to free budget before giving up (capped by the server's
+	// deadline ceiling). 0 means try once and report full immediately.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// IdempotencyKey, when set, makes retries of this exact batch safe: a
+	// replay of a key the server already executed returns the recorded
+	// outcome instead of enqueueing again.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+}
+
+// EnqueueResponse reports how many leading values were accepted. Accepted
+// may be less than len(Values) when budget or the deadline ran out —
+// Values[Accepted:] are NOT in the queue and may be resent.
+type EnqueueResponse struct {
+	Accepted int `json:"accepted"`
+}
+
+// DequeueRequest asks for up to Max values.
+type DequeueRequest struct {
+	// Max values to return; 0 means 1; capped by the server's max batch.
+	Max int `json:"max,omitempty"`
+	// WaitMs > 0 long-polls: an empty queue is waited on up to this long
+	// (capped by the server's deadline ceiling) before answering. 0
+	// answers immediately, with an empty Values when the queue is empty.
+	WaitMs int64 `json:"wait_ms,omitempty"`
+}
+
+// DequeueResponse carries the dequeued values, oldest first; empty when
+// the queue had nothing within the wait.
+type DequeueResponse struct {
+	Values []uint64 `json:"values"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	// Error is a stable token: "shedding", "full", "draining", "closed",
+	// "deadline", "canceled", or "bad-request".
+	Error string `json:"error"`
+	// Detail elaborates for humans; not stable.
+	Detail string `json:"detail,omitempty"`
+	// RetryAfterSec mirrors the Retry-After header on 429 answers.
+	RetryAfterSec int64 `json:"retry_after_sec,omitempty"`
+}
+
+// Error tokens; the HTTP status codes they ride on are fixed by the
+// protocol (DESIGN.md §12): 429 shedding/full, 503 draining/closed,
+// 504 deadline, 400 bad-request, 499 canceled.
+const (
+	ErrTokenShedding   = "shedding"
+	ErrTokenFull       = "full"
+	ErrTokenDraining   = "draining"
+	ErrTokenClosed     = "closed"
+	ErrTokenDeadline   = "deadline"
+	ErrTokenCanceled   = "canceled"
+	ErrTokenBadRequest = "bad-request"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for "the client
+// went away before the answer existed" (there is no standard code; 499 is
+// the de-facto one). Nothing was delivered to anyone.
+const StatusClientClosedRequest = 499

@@ -55,6 +55,36 @@ var ErrClosed = errors.New("lcrq: queue closed")
 // enqueued; EnqueueWait retries instead of returning it.
 var ErrFull = errors.New("lcrq: queue full")
 
+// ErrEmpty reports that the queue held no value. It is never returned on
+// its own: DequeueWait wraps it (with the context error) in a WaitError
+// when its context ends while the queue is still empty.
+var ErrEmpty = errors.New("lcrq: queue empty")
+
+// A WaitError is returned by EnqueueWait and DequeueWait when their context
+// ends before the queue lets the operation through. It wraps both the queue
+// state that forced the wait (ErrFull for EnqueueWait, ErrEmpty for
+// DequeueWait — what the last poll observed) and the context's own error,
+// so callers can split the cases with errors.Is:
+//
+//	errors.Is(err, lcrq.ErrFull) && errors.Is(err, context.DeadlineExceeded)
+//	    // the queue stayed full for the whole deadline → backpressure;
+//	    // retry later (a server maps this to 429 + Retry-After)
+//	errors.Is(err, context.Canceled)
+//	    // the caller gave up → not a queue condition at all
+//
+// Plain errors.Is(err, context.DeadlineExceeded) keeps working as before
+// the wrapper existed.
+type WaitError struct {
+	State error // ErrFull or ErrEmpty: the queue at the last poll
+	Cause error // the context error: context.Canceled or context.DeadlineExceeded
+}
+
+func (e *WaitError) Error() string { return e.State.Error() + ": " + e.Cause.Error() }
+
+// Unwrap exposes both the queue-state sentinel and the context error to
+// errors.Is / errors.As.
+func (e *WaitError) Unwrap() []error { return []error{e.State, e.Cause} }
+
 // Queue is a nonblocking MPMC FIFO queue of uint64 values, unbounded by
 // default and bounded with WithCapacity / WithMaxRings. All methods are
 // safe for concurrent use.
@@ -170,8 +200,10 @@ func (h *Handle) enqueueStatus(v uint64) core.EnqStatus {
 }
 
 // EnqueueWait blocks until a bounded queue accepts v. It fails with
-// ErrClosed once the queue has been closed, or with ctx.Err() when ctx is
-// done first; on error v was not enqueued. A nil ctx waits without
+// ErrClosed once the queue has been closed, or with a *WaitError wrapping
+// ErrFull and ctx.Err() when ctx is done first (errors.Is matches both, so
+// "full for the whole deadline" and caller cancellation stay
+// distinguishable); on error v was not enqueued. A nil ctx waits without
 // cancellation. On an unbounded queue it is equivalent to Enqueue and never
 // blocks.
 //
@@ -214,7 +246,7 @@ func (h *Handle) enqueueWait(ctx context.Context, v uint64) error {
 		if done != nil {
 			select {
 			case <-done:
-				return ctx.Err()
+				return &WaitError{State: ErrFull, Cause: ctx.Err()}
 			default:
 			}
 		}
@@ -227,7 +259,7 @@ func (h *Handle) enqueueWait(ctx context.Context, v uint64) error {
 			select {
 			case <-done:
 				timer.Stop()
-				return ctx.Err()
+				return &WaitError{State: ErrFull, Cause: ctx.Err()}
 			case <-timer.C:
 			}
 		} else {
@@ -322,9 +354,10 @@ func (h *Handle) DequeueBatch(out []uint64) int {
 }
 
 // DequeueWait blocks until a value is available and returns it. It fails
-// with ErrClosed once the queue has been closed and drained, or with
-// ctx.Err() when ctx is done first; the returned value is meaningless on
-// error. A nil ctx waits without cancellation.
+// with ErrClosed once the queue has been closed and drained, or with a
+// *WaitError wrapping ErrEmpty and ctx.Err() when ctx is done first
+// (errors.Is matches both); the returned value is meaningless on error. A
+// nil ctx waits without cancellation.
 //
 // Waiting is a spin phase followed by bounded exponential backoff sleeps
 // (see WithWaitBackoff), so an idle waiter costs no CPU while a busy queue
@@ -368,7 +401,7 @@ func (h *Handle) dequeueWait(ctx context.Context) (uint64, error) {
 		if done != nil {
 			select {
 			case <-done:
-				return 0, ctx.Err()
+				return 0, &WaitError{State: ErrEmpty, Cause: ctx.Err()}
 			default:
 			}
 		}
@@ -381,7 +414,7 @@ func (h *Handle) dequeueWait(ctx context.Context) (uint64, error) {
 			select {
 			case <-done:
 				timer.Stop()
-				return 0, ctx.Err()
+				return 0, &WaitError{State: ErrEmpty, Cause: ctx.Err()}
 			case <-timer.C:
 			}
 		} else {
@@ -445,6 +478,17 @@ func (q *Queue) Dequeue() (v uint64, ok bool) {
 	v, ok = h.Dequeue()
 	q.pool.Put(h)
 	return v, ok
+}
+
+// DequeueWait blocks until a value is available, using a pooled handle; see
+// Handle.DequeueWait. Note the pooled handle is held for the whole wait, so
+// many concurrently blocked waiters grow the pool; dedicated consumers
+// should own a Handle.
+func (q *Queue) DequeueWait(ctx context.Context) (uint64, error) {
+	h := q.pool.Get().(*Handle)
+	v, err := h.DequeueWait(ctx)
+	q.pool.Put(h)
+	return v, err
 }
 
 // EnqueueBatch appends the values of vs using a pooled handle; see

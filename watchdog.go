@@ -47,6 +47,13 @@ const (
 	// flips to capacity-stall. Two ticks filter out a full queue whose
 	// consumers are merely slow to the sampling edge.
 	wdCapacityTicks = 2
+	// wdRecoverTicks: consecutive clean ticks a problem verdict must
+	// survive before the published health flips back to ok. One lucky
+	// sampling edge mid-stall would otherwise make Health() flap, and every
+	// consumer (load shedders, alert routing) would flap with it. The flip
+	// itself is announced as EvWatchdogRecover, pairing every
+	// EvWatchdogAlert with a recovery marker in the event trace.
+	wdRecoverTicks = 2
 )
 
 // watchdog is the background health checker started by WithWatchdog. Each
@@ -71,6 +78,7 @@ type watchdog struct {
 	prevRejects  uint64
 	prevStalls   uint64
 	fullTicks    int
+	okStreak     int // consecutive clean ticks while a problem verdict holds
 }
 
 func startWatchdog(q *Queue, interval time.Duration) *watchdog {
@@ -159,21 +167,50 @@ func (w *watchdog) check() {
 		detail = fmt.Sprintf("%d reclamation participants declared stalled in one %v interval", dStalls, w.interval)
 	}
 
+	if ev, fire := w.publish(verdict, detail); fire {
+		// Route the transition through the telemetry sink (the queue's Tap),
+		// so it lands in the event trace and counts like any lifecycle event.
+		q.tel.RingEvent(ev)
+	}
+}
+
+// publish folds one tick's raw verdict into the published health, applying
+// recovery hysteresis, and reports which transition event to emit:
+// EvWatchdogAlert on ok→problem, EvWatchdogRecover on problem→ok. A problem
+// verdict does not flip back on the first clean tick — it is held, with the
+// detail annotated as recovering, until wdRecoverTicks consecutive clean
+// ticks pass.
+func (w *watchdog) publish(verdict, detail string) (ev core.RingEvent, fire bool) {
 	w.mu.Lock()
-	wasOK := w.health.OK
-	w.health = Health{
+	defer w.mu.Unlock()
+	prev := w.health
+	next := Health{
 		OK:        verdict == "ok",
 		Verdict:   verdict,
 		Detail:    detail,
-		Checks:    w.health.Checks + 1,
+		Checks:    prev.Checks + 1,
 		LastCheck: time.Now(),
 	}
-	w.mu.Unlock()
-	if wasOK && verdict != "ok" {
-		// Route the alert through the telemetry sink (the queue's Tap), so
-		// it lands in the event trace and counts like any lifecycle event.
-		q.tel.RingEvent(core.EvWatchdogAlert)
+	switch {
+	case verdict != "ok":
+		w.okStreak = 0
+		if prev.OK {
+			ev, fire = core.EvWatchdogAlert, true
+		}
+	case !prev.OK:
+		w.okStreak++
+		if w.okStreak < wdRecoverTicks {
+			// Hold the problem verdict through the hysteresis window.
+			next.OK = false
+			next.Verdict = prev.Verdict
+			next.Detail = fmt.Sprintf("recovering: %d/%d clean checks", w.okStreak, wdRecoverTicks)
+		} else {
+			w.okStreak = 0
+			ev, fire = core.EvWatchdogRecover, true
+		}
 	}
+	w.health = next
+	return ev, fire
 }
 
 // snapshot returns the current verdict.
