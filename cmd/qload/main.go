@@ -56,6 +56,7 @@ func (c cellSpec) name() string {
 type report struct {
 	Meta   buildmeta.Meta `json:"meta"`
 	Cells  []cellResult   `json:"cells"`
+	Trace  *traceResult   `json:"trace,omitempty"`
 	Faults faultResults   `json:"faults"`
 	Pass   bool           `json:"pass"`
 }
@@ -68,12 +69,13 @@ type faultResults struct {
 
 func main() {
 	var (
-		qservePath = flag.String("qserve", "./bin/qserve", "path to the qserve binary to drive")
-		out        = flag.String("out", "", "write the e2e artifact (BENCH_e2e.json shape) here")
-		baseline   = flag.String("baseline", "", "compare enqueue p99 per cell against this artifact; fail on >2x regression")
-		duration   = flag.Duration("duration", 2*time.Second, "measured load per sweep cell")
-		cellsFlag  = flag.String("cells", "2x16x0,4x64x0,4x64x4096", "sweep cells as clientsXbatchXcapacity, comma-separated")
-		skipFaults = flag.Bool("skip-faults", false, "run only the throughput sweep")
+		qservePath  = flag.String("qserve", "./bin/qserve", "path to the qserve binary to drive")
+		out         = flag.String("out", "", "write the e2e artifact (BENCH_e2e.json shape) here")
+		baseline    = flag.String("baseline", "", "compare enqueue p99 per cell against this artifact; fail on >2x regression")
+		duration    = flag.Duration("duration", 2*time.Second, "measured load per sweep cell")
+		cellsFlag   = flag.String("cells", "2x16x0,4x64x0,4x64x4096", "sweep cells as clientsXbatchXcapacity, comma-separated")
+		skipFaults  = flag.Bool("skip-faults", false, "run only the throughput sweep and trace probe")
+		traceProbes = flag.Int("trace-probes", 16, "traced requests for the span-decomposition check")
 	)
 	flag.Parse()
 
@@ -98,6 +100,21 @@ func main() {
 		fmt.Printf("%10.0f items/s  p50 %6.2fms  p99 %6.2fms  (%d items, %d retries)\n",
 			res.ThroughputPerSec, res.EnqueueP50Ms, res.EnqueueP99Ms, res.Items, res.Retries)
 		rep.Cells = append(rep.Cells, res)
+	}
+
+	fmt.Println("trace: cross-layer span decomposition")
+	tr, err := runTraceProbe(*qservePath, *traceProbes)
+	if err != nil {
+		fatalf("trace probe: %v", err)
+	}
+	rep.Trace = tr
+	fmt.Printf("  %d probes, max span gap %.2f%%; sojourn p50 %.3fms p99 %.3fms; exemplar rtt %.2fms = backoff %.2f + shed %.2f + residency %.2f + delivery %.2f\n",
+		tr.Probes, tr.MaxGapPct, tr.SojournP50Ms, tr.SojournP99Ms,
+		tr.Exemplar.RTTMs, tr.Exemplar.ClientBackoffMs, tr.Exemplar.ShedWaitMs,
+		tr.Exemplar.QueueResidencyMs, tr.Exemplar.DeliveryMs)
+	if tr.MaxGapPct > 5.0 || !tr.PrometheusSojourn || tr.SojournP99Ms <= 0 {
+		fmt.Println("  FAIL: span decomposition did not account for the RTT, or sojourn missing from an export")
+		rep.Pass = false
 	}
 
 	if !*skipFaults {

@@ -5,8 +5,22 @@
 //
 // Endpoints: POST /v1/enqueue, POST /v1/dequeue (long-polling), GET
 // /healthz (503 once draining, for load balancers), GET /statsz, GET
-// /metrics (Prometheus), POST /admin/drain. See DESIGN.md §12 for the wire
-// protocol and the shed/drain state machine.
+// /metrics (Prometheus), GET /traces (recent item traces), POST
+// /admin/drain, GET /admin/blackbox (flight-recorder dump). See DESIGN.md
+// §12 for the wire protocol and the shed/drain state machine, §13 for the
+// tracing and flight-recorder model.
+//
+// Observability wiring:
+//
+//   - Item tracing is on by default at 1-in-1024 sampling (-trace-sample; 0
+//     disables, -1 stamps only client-forced trace IDs).
+//   - A flight recorder runs always, keeping the last ~2 minutes of queue
+//     state in a bounded ring. SIGQUIT dumps it to -blackbox-dir and keeps
+//     serving; a watchdog alert or a panic dumps automatically; GET
+//     /admin/blackbox serves the live window.
+//   - -debug-addr starts a SEPARATE listener exposing net/http/pprof —
+//     off by default and never mounted on the service port, so profiling
+//     exposure is an explicit operator decision.
 //
 // SIGTERM or SIGINT begins the graceful drain: enqueues get 503
 // immediately, in-flight accepts settle, the queue closes, consumers drain
@@ -22,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,6 +44,7 @@ import (
 
 	"lcrq"
 	"lcrq/internal/buildmeta"
+	"lcrq/internal/flightrec"
 	"lcrq/internal/resilience"
 	"lcrq/internal/resilience/server"
 )
@@ -44,6 +60,10 @@ func main() {
 		watchdog      = flag.Duration("watchdog", 50*time.Millisecond, "watchdog check interval (0 disables; disables shedding too)")
 		recoverObs    = flag.Int("shed-recover", 2, "consecutive clean health polls before the shedder closes")
 		dedupCap      = flag.Int("dedup", 65536, "idempotency-key cache size (<0 disables)")
+		traceSample   = flag.Int("trace-sample", lcrq.DefaultTraceSampleN, "item-trace sampling stride: 1-in-N (0 off, -1 forced-only)")
+		blackboxDir   = flag.String("blackbox-dir", ".", "directory for flight-recorder dumps (SIGQUIT, watchdog alerts, panics)")
+		bboxInterval  = flag.Duration("blackbox-interval", flightrec.DefaultInterval, "flight-recorder frame cadence")
+		debugAddr     = flag.String("debug-addr", "", "separate listener for net/http/pprof (empty = disabled)")
 		quiet         = flag.Bool("quiet", false, "suppress lifecycle logging")
 		version       = flag.Bool("version", false, "print build metadata and exit")
 	)
@@ -63,13 +83,35 @@ func main() {
 	if *watchdog > 0 {
 		opts = append(opts, lcrq.WithWatchdog(*watchdog))
 	}
+	switch {
+	case *traceSample > 0:
+		opts = append(opts, lcrq.WithTracing(*traceSample))
+	case *traceSample < 0:
+		opts = append(opts, lcrq.WithForcedTracingOnly())
+	}
 	q := lcrq.New(opts...)
 
 	logf := log.Printf
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	srv := server.New(server.Config{
+
+	var srv *server.Server
+	rec := flightrec.New(flightrec.Config{
+		Queue:    q,
+		Interval: *bboxInterval,
+		Dir:      *blackboxDir,
+		Logf:     logf,
+		Extra: func() map[string]any {
+			if srv == nil {
+				return nil
+			}
+			return map[string]any{"qserve_counters": srv.Counters().Snapshot()}
+		},
+	})
+	defer rec.CapturePanic()
+
+	srv = server.New(server.Config{
 		Queue:         q,
 		MaxBatch:      *maxBatch,
 		MaxDeadline:   *maxDeadline,
@@ -78,16 +120,49 @@ func main() {
 		Shed:          resilience.ShedConfig{RecoverObservations: *recoverObs},
 		DedupCapacity: *dedupCap,
 		Logf:          logf,
+		Blackbox:      rec.Handler(),
 	})
+
+	// pprof rides a separate listener so the service port never exposes
+	// profiling handlers; see README "Profiling qserve".
+	if *debugAddr != "" {
+		dm := http.NewServeMux()
+		dm.HandleFunc("/debug/pprof/", pprof.Index)
+		dm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logf("qserve: pprof on %s", *debugAddr)
+			if err := (&http.Server{Addr: *debugAddr, Handler: dm}).ListenAndServe(); err != nil {
+				logf("qserve: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	logf("qserve: serving on %s (capacity %d, watchdog %v, commit %s)",
-		*addr, *capacity, *watchdog, buildmeta.Collect().Commit)
+	logf("qserve: serving on %s (capacity %d, watchdog %v, trace 1-in-%d, commit %s)",
+		*addr, *capacity, *watchdog, *traceSample, buildmeta.Collect().Commit)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	// SIGQUIT is the operator's black-box trigger: dump the flight recorder
+	// and keep serving (unlike the Go runtime default of crashing with all
+	// goroutine stacks).
+	quitCh := make(chan os.Signal, 1)
+	signal.Notify(quitCh, syscall.SIGQUIT)
+	go func() {
+		for range quitCh {
+			if path, err := rec.WriteFile("sigquit"); err != nil {
+				logf("qserve: SIGQUIT dump failed: %v", err)
+			} else {
+				logf("qserve: SIGQUIT — flight recorder dumped to %s", path)
+			}
+		}
+	}()
+
 	select {
 	case err := <-errCh:
 		log.Fatalf("qserve: listener: %v", err)
@@ -108,6 +183,7 @@ func main() {
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		logf("qserve: listener shutdown: %v", err)
 	}
+	rec.Stop()
 	srv.Close()
 	if exit != 0 {
 		fmt.Fprintln(os.Stderr, "qserve: exited with undelivered items")

@@ -1,0 +1,75 @@
+// Command qtop is a live terminal dashboard for a running qserve: it polls
+// GET /statsz and renders queue health, shed state, depth, operation rates
+// (computed as deltas between polls), and the latency and sojourn quantile
+// tables — the at-a-glance view an operator wants before reaching for
+// /metrics or the flight recorder.
+//
+//	qtop -url http://localhost:8080            # live, 1s cadence
+//	qtop -url http://localhost:8080 -once      # one frame, no clearing (scripts, CI logs)
+//
+// qtop is read-only and stateless: everything it shows comes from the
+// server's own observability endpoints, so it can point at any qserve —
+// local, staging, or production — without side effects.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "qserve base URL")
+		interval = flag.Duration("interval", time.Second, "poll cadence")
+		once     = flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	fetch := func() (*statsz, error) {
+		resp, err := client.Get(*url + "/statsz")
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("/statsz: HTTP %d", resp.StatusCode)
+		}
+		var s statsz
+		if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+			return nil, fmt.Errorf("/statsz: %w", err)
+		}
+		return &s, nil
+	}
+
+	var prev *statsz
+	prevAt := time.Now()
+	for {
+		cur, err := fetch()
+		now := time.Now()
+		if err != nil {
+			if *once {
+				fmt.Fprintf(os.Stderr, "qtop: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%sqtop — %s: %v (retrying every %v)\n", clearScreen, *url, err, *interval)
+		} else {
+			if !*once {
+				fmt.Print(clearScreen)
+			}
+			render(os.Stdout, *url, cur, prev, now.Sub(prevAt))
+			if msg := sanity(cur); msg != "" {
+				fmt.Println(msg)
+			}
+			prev, prevAt = cur, now
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}

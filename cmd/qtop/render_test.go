@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lcrq"
+	"lcrq/internal/resilience"
+	"lcrq/internal/resilience/server"
+)
+
+// fakeSnapshot builds a statsz pair two seconds apart with known counter
+// movement so the rate math is checkable to the digit.
+func fakeSnapshot() (cur, prev *statsz) {
+	prev = &statsz{}
+	prev.State = "serving"
+	prev.Stats.Enqueues, prev.Stats.Dequeues = 1000, 400
+	prev.Counters = map[string]uint64{"lcrq_qserve_items_accepted_total": 900}
+
+	cur = &statsz{}
+	cur.State = "serving"
+	cur.Build.Commit = "abcdef0123456789"
+	cur.Build.GoMaxProcs = 8
+	cur.Health.OK = true
+	cur.Health.Verdict = "ok"
+	cur.Depth = 123
+	cur.Capacity = 4096
+	cur.Stats.Enqueues, cur.Stats.Dequeues = 3000, 1400
+	cur.Stats.TraceArms, cur.Stats.TraceHits = 7, 5
+	cur.Counters = map[string]uint64{"lcrq_qserve_items_accepted_total": 2900}
+	cur.TraceSampleN = 1024
+	cur.Latency = map[string]latencyz{
+		"enqueue": {Samples: 100, P50Ns: 250, P99Ns: 1800, P999Ns: 4000, MaxNs: 9000},
+	}
+	cur.Sojourn = latencyz{Samples: 42, P50Ns: 52_000, P99Ns: 910_000, P999Ns: 2_000_000, MaxNs: 5_000_000}
+	return cur, prev
+}
+
+// TestRenderRates: counter deltas over the poll gap come out as exact
+// per-second rates, and every dashboard section renders.
+func TestRenderRates(t *testing.T) {
+	cur, prev := fakeSnapshot()
+	var b strings.Builder
+	render(&b, "http://q:8080", cur, prev, 2*time.Second)
+	out := b.String()
+
+	for _, want := range []string{
+		"state=serving",
+		"commit=abcdef012345", // truncated to 12
+		"gomaxprocs=8",
+		"health: OK",
+		"depth: 123",
+		"capacity: 4096",
+		"enq 1000/s",      // (3000-1000)/2s
+		"deq 500/s",       // (1400-400)/2s
+		"accepted 1000/s", // (2900-900)/2s
+		"enqueue",
+		"1.8µs", // enqueue p99
+		"sojourn",
+		"910.0µs", // sojourn p99
+		"tracing: 1-in-1024",
+		"arms 7",
+		"hits 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderFirstFrame: with no previous snapshot there are no rates, but
+// gauges and quantiles still render.
+func TestRenderFirstFrame(t *testing.T) {
+	cur, _ := fakeSnapshot()
+	var b strings.Builder
+	render(&b, "u", cur, nil, 0)
+	out := b.String()
+	if strings.Contains(out, "rates:") {
+		t.Fatalf("first frame rendered rates with no baseline:\n%s", out)
+	}
+	if !strings.Contains(out, "depth: 123") || !strings.Contains(out, "sojourn") {
+		t.Fatalf("first frame missing gauges:\n%s", out)
+	}
+}
+
+// TestRenderAlerts: unhealthy and shedding states are called out loudly.
+func TestRenderAlerts(t *testing.T) {
+	cur, prev := fakeSnapshot()
+	cur.Health.OK = false
+	cur.Health.Verdict = "capacity-stall"
+	cur.Health.Detail = "queue full for 3 intervals"
+	cur.Shed.Shedding = true
+	cur.Shed.Verdict = "capacity-stall"
+	cur.Shed.Opens = 2
+	var b strings.Builder
+	render(&b, "u", cur, prev, time.Second)
+	out := b.String()
+	if !strings.Contains(out, "ALERT capacity-stall (queue full for 3 intervals)") {
+		t.Fatalf("alert not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "SHEDDING (capacity-stall) (opens 2)") {
+		t.Fatalf("shed state not rendered:\n%s", out)
+	}
+}
+
+// TestStatszDecodesIntoRenderModel closes the loop against the real server:
+// the /statsz document a live qserve emits must decode into qtop's model
+// with the load-bearing fields populated.
+func TestStatszDecodesIntoRenderModel(t *testing.T) {
+	q := lcrq.New(lcrq.WithTracing(1))
+	srv := server.New(server.Config{Queue: q})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	body := strings.NewReader(`{"values":[1,2,3]}`)
+	resp, err := ts.Client().Post(ts.URL+"/v1/enqueue", "application/json", body)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("enqueue: %v %v", err, resp)
+	}
+	resp.Body.Close()
+	resp, err = ts.Client().Post(ts.URL+"/v1/dequeue", "application/json", strings.NewReader(`{"max":3}`))
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("dequeue: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	resp, err = ts.Client().Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s statsz
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.State != resilience.Serving.String() {
+		t.Fatalf("state = %q", s.State)
+	}
+	if s.Build.Commit == "" || s.Build.GoMaxProcs < 1 {
+		t.Fatalf("build = %+v", s.Build)
+	}
+	if s.TraceSampleN != 1 || s.Sojourn.Samples == 0 {
+		t.Fatalf("tracing fields: sample_n=%d sojourn=%+v", s.TraceSampleN, s.Sojourn)
+	}
+	if msg := sanity(&s); msg != "" {
+		t.Fatalf("sanity: %s", msg)
+	}
+	var b strings.Builder
+	render(&b, ts.URL, &s, nil, 0)
+	if !strings.Contains(b.String(), "state=serving") {
+		t.Fatalf("render of live statsz:\n%s", b.String())
+	}
+}

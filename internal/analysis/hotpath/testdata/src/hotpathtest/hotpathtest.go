@@ -70,6 +70,66 @@ func step(v uint64) uint64 { return v + 1 }
 
 func noteExit() {}
 
+// Trace stamping: the item-trace machinery writes its stamp slot and hit
+// buffer on the operation paths, so both must be written field-by-field — a
+// composite-literal stamp or hit is an allocation the analyzer rejects.
+
+type stamp struct {
+	tag, id uint64
+	ns      int64
+}
+
+type hit struct {
+	id  uint64
+	ns  int64
+	pos int
+}
+
+type traced struct {
+	stamps []stamp
+	hits   [8]hit
+	nhits  int
+}
+
+// depositStamp is the correct shape: slot fields written one by one, tag
+// last; no diagnostics.
+//
+//lcrq:hotpath
+func (q *traced) depositStamp(t, id uint64, ns int64) {
+	slot := &q.stamps[t&7]
+	slot.id = id
+	slot.ns = ns
+	slot.tag = t + 1
+}
+
+// recordHit is the correct shape for the dequeue side: the fixed hit buffer
+// is filled field-by-field under a bounds check.
+//
+//lcrq:hotpath
+func (q *traced) recordHit(id uint64, ns int64, pos int) {
+	if q.nhits >= len(q.hits) {
+		return
+	}
+	h := &q.hits[q.nhits]
+	h.id = id
+	h.ns = ns
+	h.pos = pos
+	q.nhits++
+}
+
+// depositStampLit is the tempting-but-wrong shape.
+//
+//lcrq:hotpath
+func (q *traced) depositStampLit(t, id uint64, ns int64) {
+	q.stamps[t&7] = stamp{tag: t + 1, id: id, ns: ns} // want `composite literal \(allocation\)`
+}
+
+//lcrq:hotpath
+func (q *traced) recordHitLit(id uint64, ns int64, pos int) {
+	q.hits[0] = hit{id: id, ns: ns, pos: pos} // want `composite literal \(allocation\)`
+	q.hits = [8]hit{}                         // want `composite literal \(allocation\)`
+}
+
 // drain is NOT annotated: the same operations draw no diagnostics here.
 func (q *queue) drain() {
 	q.mu.Lock()

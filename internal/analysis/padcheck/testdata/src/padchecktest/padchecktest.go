@@ -61,6 +61,29 @@ type wide struct {
 	_    [40]byte
 }
 
+// stampSlot mirrors the item-trace stamp layout: the seqlock tag word is
+// written by enqueuers and re-read by dequeuers, so it may not share a line
+// with the array-neighbor words of an adjacent slot's tag — the fixture
+// checks the within-struct rule (tag/id/ns are one slot's private line).
+//
+//lcrq:padded
+type stampSlot struct {
+	tag atomic.Uint64
+	id  atomic.Uint64 // want `stampSlot\.id shares a 64-byte cache line with tag`
+	ns  atomic.Int64  // want `stampSlot\.ns shares a 64-byte cache line with tag` `stampSlot\.ns shares a 64-byte cache line with id`
+}
+
+// stampSlotPadded is the compliant layout (the real traceStamp rides the
+// ring's existing padding; when it cannot, this is the required shape).
+//
+//lcrq:padded
+type stampSlotPadded struct {
+	tag atomic.Uint64
+	_   [56]byte
+	id  atomic.Uint64 //lcrq:cold
+	ns  atomic.Int64  //lcrq:cold
+}
+
 // notAStruct cannot carry the annotation at all.
 //
 //lcrq:padded

@@ -23,6 +23,9 @@ const (
 	// DefaultLatencySampleN is the default 1-in-N latency sampling stride
 	// when telemetry is enabled without an explicit rate.
 	DefaultLatencySampleN = 1024
+	// DefaultTraceSampleN is the default 1-in-N item-trace sampling stride
+	// when tracing is enabled without an explicit rate.
+	DefaultTraceSampleN = 1024
 	// DefaultStallAge is the age past which a pinned epoch record lagging
 	// the global epoch is declared stalled-by-policy, when stall recovery
 	// is enabled without an explicit age. Bounded epoch-mode queues enable
@@ -145,6 +148,21 @@ type Config struct {
 	// RingEvent). The public layer installs the telemetry sink here; nil
 	// disables event delivery. Taps never run on the fast path.
 	Tap Tap
+
+	// TraceSampleN enables item-level tracing: every ring allocates a
+	// parallel stamp array, and each handle stamps a trace ID + enqueue
+	// timestamp into 1 in TraceSampleN of its enqueued items; the dequeue
+	// that claims a stamped item measures its ring sojourn and reports it to
+	// TraceTap. 0 disables tracing entirely (no stamp arrays, dead branches
+	// only); negative allocates the stamp machinery but never self-arms, so
+	// only explicitly forced traces (Handle.ForceTrace) are stamped.
+	TraceSampleN int
+
+	// TraceTap receives the sojourn observation of every stamped item a
+	// dequeue claims (see TraceTap). The public layer installs the telemetry
+	// sink here; nil discards the observations (per-op results remain
+	// readable via Handle.DequeueTraces).
+	TraceTap TraceTap
 
 	// WaitBackoffMin and WaitBackoffMax bound the exponential backoff the
 	// public DequeueWait uses between empty polls: after a brief spin the

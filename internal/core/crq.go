@@ -48,6 +48,11 @@ type CRQ struct {
 	size        uint64
 	strideShift uint
 
+	// stamps is the parallel item-trace array (nil unless tracing is
+	// configured): slot t&mask carries the trace stamp of the enqueuer that
+	// claimed index t, matched by tag. Read-only after init, like slab.
+	stamps []traceStamp
+
 	cfg Config
 }
 
@@ -65,6 +70,10 @@ func NewCRQ(cfg Config) *CRQ {
 	// The all-zero cell is the initial state (safe, index 0, ⊥), so the
 	// freshly zeroed slab needs no initialization loop.
 	q.slab = atomic128.AlignedUint128s(int(q.size) << q.strideShift)
+	if cfg.TraceSampleN != 0 {
+		// Zero tags mean "no stamp", so the fresh array needs no init.
+		q.stamps = make([]traceStamp, q.size)
+	}
 	return q
 }
 
@@ -78,6 +87,13 @@ func (q *CRQ) cell(i uint64) *atomic128.Uint128 {
 // (i.e. after hazard-pointer reclamation).
 func (q *CRQ) reset() {
 	clear(q.slab)
+	// Clearing only the tags suffices to invalidate every stamp: a recycled
+	// ring restarts at index 0, and stale tags from the previous life would
+	// otherwise alias indices of the new one exactly (tag == idx+1 repeats
+	// every lap).
+	for i := range q.stamps {
+		q.stamps[i].tag.Store(0)
+	}
 	q.head.Store(0)
 	q.tail.Store(0)
 	q.next.Store(nil)
@@ -250,9 +266,18 @@ func (q *CRQ) Enqueue(h *Handle, v uint64) bool {
 		if hi == 0 { // value is ⊥
 			if idx <= t && (safe || q.head.Load() <= t) {
 				chaos.Delay(chaos.DelayEnq)
+				// Publish the armed trace stamp before the deposit CAS: a
+				// dequeuer only reads the stamp after claiming the value, so
+				// the CAS success orders the stamp ahead of every reader.
+				if h.traceArmed && q.stamps != nil {
+					q.stampTrace(h, t)
+				}
 				// (s, idx, ⊥) → (1, t, v): new lo = t with unsafe flag
 				// cleared, new hi = ^v.
 				if cas2(h, cell, chaos.EnqCAS2Fail, lo, 0, t, ^v) {
+					if h.traceArmed {
+						h.completeEnqTrace()
+					}
 					return true
 				}
 			}
@@ -303,6 +328,9 @@ func (q *CRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 				if idx == hIdx {
 					// Dequeue transition (s, h, v) → (s, h+R, ⊥).
 					if cas2(h, cell, chaos.DeqCAS2Fail, lo, hi, unsafeBit|(hIdx+q.size), 0) {
+						if q.stamps != nil {
+							q.checkStamp(h, hIdx, 0)
+						}
 						return ^hi, true
 					}
 				} else {
@@ -394,7 +422,15 @@ func (q *CRQ) EnqueueBatch(h *Handle, vs []uint64) (n int, closed bool) {
 			safe := lo&unsafeFlag == 0
 			if hi == 0 && idx <= t && (safe || q.head.Load() <= t) {
 				chaos.Delay(chaos.DelayEnq)
+				// One armed trace per operation: the first value deposited
+				// after arming carries the stamp (see Enqueue for ordering).
+				if h.traceArmed && q.stamps != nil {
+					q.stampTrace(h, t)
+				}
 				if cas2(h, cell, chaos.EnqCAS2Fail, lo, 0, t, ^vs[n]) {
+					if h.traceArmed {
+						h.completeEnqTrace()
+					}
 					n++
 					continue
 				}
@@ -484,6 +520,9 @@ retry:
 				if idx == hIdx {
 					if cas2(h, cell, chaos.DeqCAS2Fail, lo, hi, unsafeBit|(hIdx+q.size), 0) {
 						out[n] = ^hi
+						if q.stamps != nil {
+							q.checkStamp(h, hIdx, n)
+						}
 						n++
 						break cellLoop
 					}

@@ -35,6 +35,20 @@ type Handle struct {
 	owner    *LCRQ
 	guard    *recoveryGuard // orphan-recovery finalizer anchor; nil in GC mode
 	released bool
+
+	// Item-trace state (see trace.go). All single-writer, owned by the
+	// handle's goroutine like C; the dequeue-side hit buffer is fixed-size so
+	// recording a hit never allocates on the hot path.
+	traceSampleN   int    // sampling stride copied from Config (0 = no self-arming)
+	traceCountdown int    // enqueues until the next sampled arm
+	traceRand      uint64 // xorshift64 state: trace IDs + countdown phase
+	traceArmed     bool   // the next deposited value gets a stamp
+	traceForced    bool   // armed by ForceTrace rather than the sampler
+	traceID        uint64 // the ID to stamp while armed
+	lastEnqTraced  bool   // the most recent enqueue op deposited a stamp
+	lastEnqID      uint64
+	traceHits      int // stamped items claimed by the most recent dequeue op
+	traceHitBuf    [traceBatchMax]TraceHit
 }
 
 // recoveryGuard recovers the reclamation record of a handle that is leaked

@@ -41,10 +41,13 @@ type LCRQ struct {
 	items atomic.Int64
 	_     pad.Line
 
-	cfg  Config
-	dom  *hazard.Domain[CRQ]
-	edom *epoch.Domain[CRQ]
-	pool sync.Pool // recycled *CRQ rings (nil Reclaim when NoRecycle)
+	cfg Config
+	// traced caches cfg.TraceSampleN != 0 so the operation paths gate the
+	// per-op trace bookkeeping on one read-only bool. Set once in NewLCRQ.
+	traced bool
+	dom    *hazard.Domain[CRQ]
+	edom   *epoch.Domain[CRQ]
+	pool   sync.Pool // recycled *CRQ rings (nil Reclaim when NoRecycle)
 
 	// closed is set by Close. It lives off the hot cache lines: enqueuers
 	// only consult it on the ring-closed slow path, so an open queue never
@@ -75,7 +78,7 @@ type LCRQ struct {
 // NewLCRQ returns an empty queue configured by cfg.
 func NewLCRQ(cfg Config) *LCRQ {
 	cfg = cfg.normalized()
-	q := &LCRQ{cfg: cfg}
+	q := &LCRQ{cfg: cfg, traced: cfg.TraceSampleN != 0}
 	switch cfg.Reclamation {
 	case ReclaimHazard:
 		q.dom = hazard.New[CRQ](hpSlots)
@@ -117,10 +120,13 @@ func (q *LCRQ) NewHandle() *Handle {
 	case ReclaimEpoch:
 		h = &Handle{ep: q.edom.Acquire(), owner: q}
 	case ReclaimGC:
-		return &Handle{owner: q} // no reclamation record: nothing to leak
+		h = &Handle{owner: q} // no reclamation record: nothing to leak
+		h.initTrace(q.cfg)
+		return h
 	default:
 		h = &Handle{hp: q.dom.Acquire(), owner: q}
 	}
+	h.initTrace(q.cfg)
 	h.armRecovery(q)
 	return h
 }
@@ -176,12 +182,18 @@ func (q *LCRQ) newRing(h *Handle, v uint64) (r *CRQ, recycled bool) {
 			q.recGets.Add(1)
 			r.reset()
 			r.seed(v)
+			if h.traceArmed && r.stamps != nil {
+				r.stampTrace(h, 0) // the seeded value sits at index 0
+			}
 			h.C.Recycled++
 			return r, true
 		}
 	}
 	r = NewCRQ(q.cfg)
 	r.seed(v)
+	if h.traceArmed && r.stamps != nil {
+		r.stampTrace(h, 0)
+	}
 	return r, false
 }
 
@@ -313,6 +325,10 @@ func (q *LCRQ) EnqueueStatus(h *Handle, v uint64) EnqStatus {
 	if v == Bottom {
 		panic("core: enqueue of reserved value Bottom")
 	}
+	if q.traced {
+		h.resetEnqTrace()
+		h.maybeArmTrace(1)
+	}
 	if cap := q.cfg.Capacity; cap > 0 {
 		if q.items.Add(1) > cap {
 			q.items.Add(-1)
@@ -369,6 +385,10 @@ func (q *LCRQ) EnqueueBatch(h *Handle, vs []uint64) (int, EnqStatus) {
 		return 0, EnqOK
 	}
 	h.C.BatchEnqueues++
+	if q.traced {
+		h.resetEnqTrace()
+		h.maybeArmTrace(len(vs))
+	}
 	allowed := len(vs)
 	if cap := q.cfg.Capacity; cap > 0 {
 		got := q.items.Add(int64(len(vs)))
@@ -475,6 +495,9 @@ func (q *LCRQ) enqueueBatch(h *Handle, vs []uint64) (int, EnqStatus) {
 			h.C.Appends++
 			h.C.Enqueues++
 			h.C.BatchSpill++
+			if h.traceArmed {
+				h.completeEnqTrace() // the seeded value carried the stamp
+			}
 			accepted++
 			vs = vs[1:]
 			// Same post-publication close re-check as enqueue.
@@ -629,6 +652,9 @@ func (q *LCRQ) enqueue(h *Handle, v uint64) EnqStatus {
 			}
 			h.C.Appends++
 			h.C.Enqueues++
+			if h.traceArmed {
+				h.completeEnqTrace() // the seeded value carried the stamp
+			}
 			// A Close racing with this append may have walked the chain
 			// before newcrq was visible. Re-checking after the publication
 			// CAS closes the race: if the flag is now set, either Close saw
@@ -693,6 +719,9 @@ func (q *LCRQ) Closed() bool { return q.closed.Load() }
 func (q *LCRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 	h.enter()
 	defer h.exit()
+	if q.traced {
+		h.traceHits = 0
+	}
 	for {
 		crq := q.protect(h, hpHead, &q.head)
 		if q.cfg.Hierarchical {
@@ -702,6 +731,9 @@ func (q *LCRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 			h.C.Dequeues++
 			q.releaseItem()
 			q.unprotect(h, hpHead)
+			if h.traceHits != 0 {
+				q.deliverTraces(h)
+			}
 			return v, true
 		}
 		if crq.next.Load() == nil {
@@ -714,6 +746,9 @@ func (q *LCRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 			h.C.Dequeues++
 			q.releaseItem()
 			q.unprotect(h, hpHead)
+			if h.traceHits != 0 {
+				q.deliverTraces(h)
+			}
 			return v, true
 		}
 		chaos.Delay(chaos.Handoff)
@@ -746,6 +781,9 @@ func (q *LCRQ) DequeueBatch(h *Handle, out []uint64) int {
 	h.C.BatchDequeues++
 	h.enter()
 	defer h.exit()
+	if q.traced {
+		h.traceHits = 0
+	}
 	for {
 		crq := q.protect(h, hpHead, &q.head)
 		if q.cfg.Hierarchical {
@@ -755,6 +793,9 @@ func (q *LCRQ) DequeueBatch(h *Handle, out []uint64) int {
 			h.C.Dequeues += uint64(n)
 			q.releaseItems(int64(n))
 			q.unprotect(h, hpHead)
+			if h.traceHits != 0 {
+				q.deliverTraces(h)
+			}
 			return n
 		}
 		if crq.next.Load() == nil {
@@ -769,6 +810,9 @@ func (q *LCRQ) DequeueBatch(h *Handle, out []uint64) int {
 			h.C.Dequeues += uint64(n)
 			q.releaseItems(int64(n))
 			q.unprotect(h, hpHead)
+			if h.traceHits != 0 {
+				q.deliverTraces(h)
+			}
 			return n
 		}
 		chaos.Delay(chaos.Handoff)

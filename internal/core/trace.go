@@ -1,0 +1,228 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Item-level tracing: a 1-in-N sampled (or explicitly forced) enqueue stamps
+// a trace ID and wall-clock timestamp alongside the ring cell it deposits
+// into, and the dequeue that later claims that cell reads the stamp back,
+// yielding the item's exact ring sojourn time and an end-to-end identity a
+// caller can correlate across layers (client → wire → queue → response).
+//
+// The mechanism leans on the paper's own structure instead of widening the
+// 128-bit cell: every logical ring index t is claimed by exactly one
+// enqueuer (the F&A hands it out once) and consumed by exactly one dequeuer,
+// so a parallel stamps array indexed by t&mask with a tag word holding t+1
+// pairs the two ends exactly. A stamp whose enqueue CAS2 subsequently failed
+// is unreachable — no value was ever deposited at that index, so no dequeue
+// transition can succeed there — and a slot reused R indices later fails the
+// tag comparison. The only residual race is two *sampled* enqueuers a full
+// lap apart writing one slot concurrently; the tag-last/tag-recheck seqlock
+// below turns that vanishing case into a dropped sample, never a torn one.
+//
+// Cost model: untraced queues allocate no stamps and the operation paths add
+// only dead branches on handle-local or queue-local words (guarded by
+// TestTracingOffOverhead); traced queues pay two extra branches per op, and
+// only the 1-in-N armed operations touch the stamp words or the clock.
+
+// TraceTap receives item-sojourn observations from dequeues that claimed a
+// stamped item. Like Tap it must be safe for concurrent use and must not
+// call back into the queue; unlike Tap it is invoked on the dequeue path,
+// but only for the sampled 1-in-N items, so its amortized cost is bounded by
+// the sampling stride. The public layer installs the telemetry sink here.
+type TraceTap interface {
+	ItemSojourn(id uint64, enqUnixNs, sojournNs int64)
+}
+
+// TraceHit describes one stamped item claimed by a dequeue operation.
+type TraceHit struct {
+	// ID is the trace identity stamped at enqueue: the sampled PRNG draw, or
+	// the caller-chosen value passed to ForceTrace.
+	ID uint64
+	// EnqUnixNs is the wall-clock UnixNano recorded at the deposit attempt.
+	EnqUnixNs int64
+	// SojournNs is the item's ring residency: dequeue wall clock minus
+	// EnqUnixNs, clamped at zero (wall time may step).
+	SojournNs int64
+	// Pos is the item's position in the dequeue's output (always 0 for a
+	// single-item dequeue; the out-slice index for DequeueBatch).
+	Pos int
+}
+
+// traceBatchMax bounds how many stamped items one dequeue operation records.
+// A batch can in principle claim several sampled items; the buffer lives on
+// the handle so the hot path never allocates, and overflow hits (beyond
+// sampling expectations by orders of magnitude) are dropped, counted in
+// Counters.TraceHits regardless.
+const traceBatchMax = 8
+
+// traceStamp is one slot of a CRQ's parallel stamp array. tag holds the full
+// ring index + 1 (0 = never stamped / cleared) and is written last and
+// re-read by readers, seqlock style, so id/ns are never observed torn.
+type traceStamp struct {
+	tag atomic.Uint64
+	id  atomic.Uint64
+	ns  atomic.Int64
+}
+
+// traceSeed scrambles per-handle PRNG seeds so sampled handles do not draw
+// identical ID streams.
+var traceSeed atomic.Uint64
+
+// initTrace seeds the handle's sampling state from the queue configuration.
+// Called once from NewHandle; a zero or negative stride leaves the handle
+// unable to self-arm (forced traces still work whenever stamps exist).
+func (h *Handle) initTrace(cfg Config) {
+	if cfg.TraceSampleN <= 0 {
+		return
+	}
+	h.traceSampleN = cfg.TraceSampleN
+	h.traceRand = traceSeed.Add(1) * 0x9E3779B97F4A7C15
+	// Random phase so handles do not sample in lockstep.
+	h.traceCountdown = int(h.traceRand%uint64(cfg.TraceSampleN)) + 1
+}
+
+// maybeArmTrace advances the sampling countdown by n operations and arms the
+// handle when it expires. Armed state persists across failed attempts (a
+// capacity rejection, a closed ring) until a deposit succeeds, so a retried
+// EnqueueWait still stamps the item it finally lands.
+//
+//lcrq:hotpath
+func (h *Handle) maybeArmTrace(n int) {
+	if h.traceSampleN == 0 || h.traceArmed {
+		return
+	}
+	h.traceCountdown -= n
+	if h.traceCountdown > 0 {
+		return
+	}
+	h.traceCountdown = h.traceSampleN
+	x := h.traceRand // xorshift64: cheap, never allocates
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	h.traceRand = x
+	if x == 0 {
+		x = 1
+	}
+	h.traceID = x
+	h.traceForced = false
+	h.traceArmed = true
+	h.C.TraceArms++
+}
+
+// ForceTrace arms the handle to stamp id into the next value it deposits,
+// regardless of the sampling stride. Used by callers that carry an external
+// trace identity (the qserve wire path). The arm persists until a deposit
+// succeeds; ClearTrace abandons it.
+func (h *Handle) ForceTrace(id uint64) {
+	h.traceID = id
+	h.traceForced = true
+	h.traceArmed = true
+	h.C.TraceArms++
+}
+
+// ClearTrace disarms a pending trace that will not be deposited (e.g. the
+// enqueue was rejected and the caller is not retrying).
+func (h *Handle) ClearTrace() { h.traceArmed = false; h.traceForced = false }
+
+// TraceArmed reports whether the handle will stamp its next deposit.
+func (h *Handle) TraceArmed() bool { return h.traceArmed }
+
+// completeEnqTrace records that the armed trace was deposited and disarms.
+//
+//lcrq:hotpath
+func (h *Handle) completeEnqTrace() {
+	h.traceArmed = false
+	h.traceForced = false
+	h.lastEnqTraced = true
+	h.lastEnqID = h.traceID
+}
+
+// LastEnqueueTrace returns the trace ID stamped by the handle's most recent
+// successful enqueue operation, if that operation deposited one. The flag is
+// reset by the next arming, not per operation, so read it immediately after
+// the enqueue that forced the trace.
+func (h *Handle) LastEnqueueTrace() (id uint64, ok bool) {
+	return h.lastEnqID, h.lastEnqTraced
+}
+
+// resetEnqTrace clears the last-enqueue record before an op that may set it.
+//
+//lcrq:hotpath
+func (h *Handle) resetEnqTrace() { h.lastEnqTraced = false }
+
+// DequeueTraces returns the stamped items the handle's most recent dequeue
+// operation claimed, valid until its next dequeue. The returned slice aliases
+// handle-local storage; callers must copy what they keep.
+func (h *Handle) DequeueTraces() []TraceHit {
+	return h.traceHitBuf[:h.traceHits]
+}
+
+// stampTrace publishes the handle's armed trace for ring index t, tag last
+// so a concurrent reader (a dequeuer on an older lap of this slot) never
+// observes a torn id/ns pair.
+//
+//lcrq:hotpath
+func (q *CRQ) stampTrace(h *Handle, t uint64) {
+	s := &q.stamps[t&q.mask]
+	s.tag.Store(0)
+	s.id.Store(h.traceID)
+	s.ns.Store(time.Now().UnixNano())
+	s.tag.Store(t + 1)
+}
+
+// checkStamp runs after a successful dequeue transition at ring index idx:
+// if the matching enqueuer left a stamp for exactly this index, record the
+// hit (ID, enqueue time, sojourn) into the handle's buffer. pos is the
+// item's position in the operation's output.
+//
+//lcrq:hotpath
+func (q *CRQ) checkStamp(h *Handle, idx uint64, pos int) {
+	s := &q.stamps[idx&q.mask]
+	tag := s.tag.Load()
+	if tag != idx+1 {
+		return
+	}
+	id := s.id.Load()
+	ns := s.ns.Load()
+	if s.tag.Load() != tag {
+		return // overwritten mid-read (sampled writers a lap apart); drop
+	}
+	h.C.TraceHits++
+	if h.traceHits >= traceBatchMax {
+		return
+	}
+	d := time.Now().UnixNano() - ns
+	if d < 0 {
+		d = 0
+	}
+	hit := &h.traceHitBuf[h.traceHits]
+	hit.ID = id
+	hit.EnqUnixNs = ns
+	hit.SojournNs = d
+	hit.Pos = pos
+	h.traceHits++
+}
+
+// deliverTraces forwards the dequeue's recorded hits to the configured
+// TraceTap. Called only when at least one hit was recorded, i.e. at the
+// sampling cadence.
+func (q *LCRQ) deliverTraces(h *Handle) {
+	if tap := q.cfg.TraceTap; tap != nil {
+		for i := 0; i < h.traceHits; i++ {
+			t := &h.traceHitBuf[i]
+			tap.ItemSojourn(t.ID, t.EnqUnixNs, t.SojournNs)
+		}
+	}
+}
+
+// Traced reports whether the queue was configured with item tracing
+// (stamp arrays allocated, sampling per TraceSampleN).
+func (q *LCRQ) Traced() bool { return q.traced }
+
+// TraceSampleN returns the configured trace sampling stride: 0 when tracing
+// is off, >0 for 1-in-N sampling, <0 when only forced traces are stamped.
+func (q *LCRQ) TraceSampleN() int { return q.cfg.TraceSampleN }

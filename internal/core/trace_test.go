@@ -1,0 +1,293 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// tapRecorder collects ItemSojourn observations.
+type tapRecorder struct {
+	mu   sync.Mutex
+	ids  []uint64
+	enq  []int64
+	soj  []int64
+	last int64
+}
+
+func (t *tapRecorder) ItemSojourn(id uint64, enqUnixNs, sojournNs int64) {
+	t.mu.Lock()
+	t.ids = append(t.ids, id)
+	t.enq = append(t.enq, enqUnixNs)
+	t.soj = append(t.soj, sojournNs)
+	t.last = sojournNs
+	t.mu.Unlock()
+}
+
+func (t *tapRecorder) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ids)
+}
+
+func TestForcedTraceRoundTrip(t *testing.T) {
+	tap := &tapRecorder{}
+	q := NewLCRQ(Config{TraceSampleN: -1, TraceTap: tap})
+	h := q.NewHandle()
+	defer h.Release()
+
+	h.ForceTrace(0xfeedface)
+	if !h.TraceArmed() {
+		t.Fatal("ForceTrace did not arm the handle")
+	}
+	before := time.Now().UnixNano()
+	if !q.Enqueue(h, 7) {
+		t.Fatal("enqueue failed")
+	}
+	if h.TraceArmed() {
+		t.Fatal("arm not consumed by successful deposit")
+	}
+	if id, ok := h.LastEnqueueTrace(); !ok || id != 0xfeedface {
+		t.Fatalf("LastEnqueueTrace = %#x, %v; want 0xfeedface, true", id, ok)
+	}
+
+	v, ok := q.Dequeue(h)
+	if !ok || v != 7 {
+		t.Fatalf("dequeue = %d, %v", v, ok)
+	}
+	hits := h.DequeueTraces()
+	if len(hits) != 1 {
+		t.Fatalf("DequeueTraces len = %d, want 1", len(hits))
+	}
+	hit := hits[0]
+	if hit.ID != 0xfeedface {
+		t.Errorf("hit ID = %#x, want 0xfeedface", hit.ID)
+	}
+	if hit.EnqUnixNs < before || hit.EnqUnixNs > time.Now().UnixNano() {
+		t.Errorf("enqueue stamp %d outside test window", hit.EnqUnixNs)
+	}
+	if hit.SojournNs < 0 {
+		t.Errorf("negative sojourn %d", hit.SojournNs)
+	}
+	if hit.Pos != 0 {
+		t.Errorf("hit Pos = %d, want 0", hit.Pos)
+	}
+	if tap.count() != 1 {
+		t.Fatalf("tap observations = %d, want 1", tap.count())
+	}
+	if h.C.TraceArms != 1 || h.C.TraceHits != 1 {
+		t.Errorf("counters: arms=%d hits=%d, want 1/1", h.C.TraceArms, h.C.TraceHits)
+	}
+
+	// The consumed stamp must not re-match on later laps of the slot.
+	for i := 0; i < 10; i++ {
+		q.Enqueue(h, uint64(i))
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := q.Dequeue(h); !ok {
+			t.Fatal("unexpected empty")
+		}
+		if len(h.DequeueTraces()) != 0 {
+			t.Fatal("untraced item reported a trace hit")
+		}
+	}
+}
+
+func TestSampledTracing(t *testing.T) {
+	tap := &tapRecorder{}
+	const stride = 8
+	q := NewLCRQ(Config{TraceSampleN: stride, TraceTap: tap})
+	h := q.NewHandle()
+	defer h.Release()
+
+	const ops = 10 * stride
+	for i := 0; i < ops; i++ {
+		if !q.Enqueue(h, uint64(i)) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	for i := 0; i < ops; i++ {
+		if _, ok := q.Dequeue(h); !ok {
+			t.Fatal("unexpected empty")
+		}
+	}
+	// Deterministic stride after a random phase: 10 strides of enqueues arm
+	// 9 or 10 times, and every armed stamp is claimed by a dequeue.
+	if h.C.TraceArms < ops/stride-1 || h.C.TraceArms > ops/stride {
+		t.Errorf("TraceArms = %d, want ~%d", h.C.TraceArms, ops/stride)
+	}
+	if h.C.TraceHits != h.C.TraceArms {
+		t.Errorf("TraceHits = %d, want %d (every deposited stamp claimed)", h.C.TraceHits, h.C.TraceArms)
+	}
+	if uint64(tap.count()) != h.C.TraceHits {
+		t.Errorf("tap observations = %d, want %d", tap.count(), h.C.TraceHits)
+	}
+}
+
+func TestForcedTraceBatch(t *testing.T) {
+	tap := &tapRecorder{}
+	q := NewLCRQ(Config{TraceSampleN: -1, TraceTap: tap})
+	h := q.NewHandle()
+	defer h.Release()
+
+	h.ForceTrace(42)
+	vs := []uint64{10, 11, 12, 13}
+	if n, st := q.EnqueueBatch(h, vs); n != len(vs) || st != EnqOK {
+		t.Fatalf("EnqueueBatch = %d, %v", n, st)
+	}
+	if id, ok := h.LastEnqueueTrace(); !ok || id != 42 {
+		t.Fatalf("LastEnqueueTrace = %d, %v; want 42, true", id, ok)
+	}
+	out := make([]uint64, 4)
+	n := q.DequeueBatch(h, out)
+	if n != 4 {
+		t.Fatalf("DequeueBatch = %d, want 4", n)
+	}
+	hits := h.DequeueTraces()
+	if len(hits) != 1 {
+		t.Fatalf("DequeueTraces len = %d, want 1", len(hits))
+	}
+	// One trace per operation: only the first deposited value is stamped.
+	if hits[0].ID != 42 || hits[0].Pos != 0 {
+		t.Errorf("hit = %+v, want ID 42 at Pos 0", hits[0])
+	}
+}
+
+func TestTraceSurvivesRingSpill(t *testing.T) {
+	tap := &tapRecorder{}
+	// Tiny ring so the forced trace's item spills into a fresh seeded ring.
+	q := NewLCRQ(Config{RingOrder: 1, TraceSampleN: -1, TraceTap: tap})
+	h := q.NewHandle()
+	defer h.Release()
+
+	// Fill past one ring, then force a trace mid-stream; whichever path the
+	// deposit takes (cell transaction or spill seed), the stamp must survive.
+	for i := 0; i < 7; i++ {
+		if !q.Enqueue(h, uint64(i)) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	h.ForceTrace(777)
+	if !q.Enqueue(h, 1000) {
+		t.Fatal("traced enqueue failed")
+	}
+	if h.TraceArmed() {
+		t.Fatal("arm not consumed")
+	}
+	found := false
+	for {
+		v, ok := q.Dequeue(h)
+		if !ok {
+			break
+		}
+		for _, hit := range h.DequeueTraces() {
+			if hit.ID == 777 {
+				if v != 1000 {
+					t.Errorf("trace 777 attached to value %d, want 1000", v)
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("forced trace lost across ring spill")
+	}
+}
+
+func TestTraceStampsClearedOnRecycle(t *testing.T) {
+	tap := &tapRecorder{}
+	// Small rings + forced traces on every item maximize stale-stamp
+	// exposure across recycled rings.
+	q := NewLCRQ(Config{RingOrder: 1, TraceSampleN: -1, TraceTap: tap})
+	h := q.NewHandle()
+	defer h.Release()
+
+	const rounds = 200
+	var arms, hits int
+	for i := 0; i < rounds; i++ {
+		h.ForceTrace(uint64(i) + 1)
+		if !q.Enqueue(h, uint64(i)) {
+			t.Fatal("enqueue failed")
+		}
+		arms++
+		v, ok := q.Dequeue(h)
+		if !ok {
+			t.Fatal("unexpected empty")
+		}
+		tr := h.DequeueTraces()
+		if len(tr) > 1 {
+			t.Fatalf("round %d: %d hits for one item", i, len(tr))
+		}
+		if len(tr) == 1 {
+			if tr[0].ID != uint64(i)+1 {
+				t.Fatalf("round %d: stale stamp ID %d (want %d): recycle did not clear tags", i, tr[0].ID, i+1)
+			}
+			if v != uint64(i) {
+				t.Fatalf("round %d: value %d", i, v)
+			}
+			hits++
+		}
+	}
+	if hits != arms {
+		t.Errorf("hits = %d, arms = %d; every forced stamp should be claimed", hits, arms)
+	}
+}
+
+func TestUntracedQueueIgnoresForceTrace(t *testing.T) {
+	q := NewLCRQ(Config{}) // tracing off: no stamp arrays
+	h := q.NewHandle()
+	defer h.Release()
+
+	h.ForceTrace(5)
+	if !q.Enqueue(h, 9) {
+		t.Fatal("enqueue failed")
+	}
+	if _, ok := q.Dequeue(h); !ok {
+		t.Fatal("unexpected empty")
+	}
+	if len(h.DequeueTraces()) != 0 {
+		t.Fatal("untraced queue produced a trace hit")
+	}
+}
+
+func TestTracedConcurrentStress(t *testing.T) {
+	tap := &tapRecorder{}
+	q := NewLCRQ(Config{RingOrder: 4, TraceSampleN: 16, TraceTap: tap})
+	const workers = 4
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := q.NewHandle()
+			defer h.Release()
+			for i := 0; i < perWorker; i++ {
+				for !q.Enqueue(h, uint64(i)%1000) {
+				}
+				if i%2 == 1 {
+					q.Dequeue(h)
+					q.Dequeue(h)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	h := q.NewHandle()
+	defer h.Release()
+	for {
+		if _, ok := q.Dequeue(h); !ok {
+			break
+		}
+	}
+	if tap.count() == 0 {
+		t.Fatal("no sojourn observations under concurrent sampled tracing")
+	}
+	tap.mu.Lock()
+	defer tap.mu.Unlock()
+	for i, s := range tap.soj {
+		if s < 0 {
+			t.Fatalf("observation %d: negative sojourn %d", i, s)
+		}
+	}
+}

@@ -70,12 +70,15 @@ func (b *body) enq(v uint64) {
 }
 
 func (b *body) deq() (uint64, bool) {
+	// Empty check first: with head == tail and hidx == tidx == segSize (one
+	// segment filled and fully drained, no successor allocated yet),
+	// advancing first would walk off a nil head.next.
+	if b.head == b.tail && b.hidx == b.tidx {
+		return 0, false
+	}
 	if b.hidx == segSize {
 		b.head = b.head.next
 		b.hidx = 0
-	}
-	if b.head == b.tail && b.hidx == b.tidx {
-		return 0, false
 	}
 	v := b.head.vals[b.hidx]
 	b.hidx++

@@ -195,3 +195,30 @@ func TestManyHandles(t *testing.T) {
 		h.Release()
 	}
 }
+
+// TestSegmentBoundaryEmptyDequeue is a regression test: exactly segSize
+// enqueues then segSize+1 dequeues drains one full segment and then probes
+// empty with hidx == tidx == segSize — the shape that used to advance head
+// past a nil next and crash the combiner.
+func TestSegmentBoundaryEmptyDequeue(t *testing.T) {
+	q := New()
+	h := q.NewHandle()
+	defer h.Release()
+	for i := 0; i < segSize; i++ {
+		h.Enqueue(uint64(i) + 1)
+	}
+	for i := 0; i < segSize; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != uint64(i)+1 {
+			t.Fatalf("dequeue %d = %d, %v", i, v, ok)
+		}
+	}
+	if v, ok := h.Dequeue(); ok {
+		t.Fatalf("dequeue on drained boundary = %d, want empty", v)
+	}
+	// The queue must remain usable across the boundary.
+	h.Enqueue(99)
+	if v, ok := h.Dequeue(); !ok || v != 99 {
+		t.Fatalf("post-boundary dequeue = %d, %v", v, ok)
+	}
+}

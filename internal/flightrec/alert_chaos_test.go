@@ -1,0 +1,88 @@
+//go:build chaos
+
+package flightrec
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lcrq"
+)
+
+// TestDumpOnWatchdogAlert drives the queue into a genuine watchdog alert — a
+// capacity-stall: a tiny bounded queue held full with rejects arriving and
+// zero consumer progress — and asserts the flight recorder notices the
+// ok→alert edge and writes exactly the black-box dump an operator would want:
+// reason "watchdog-alert", an unhealthy frame naming the verdict, and the
+// watchdog-alert event in the tail.
+func TestDumpOnWatchdogAlert(t *testing.T) {
+	dir := t.TempDir()
+	q := lcrq.New(lcrq.WithCapacity(4), lcrq.WithWatchdog(time.Millisecond))
+	defer q.Close()
+	r := New(Config{Queue: q, Interval: time.Millisecond, Frames: 256, Dir: dir, Logf: t.Logf})
+	defer r.Stop()
+
+	// Fill the queue, then keep the rejects flowing with no dequeues: after
+	// wdCapacityTicks full intervals the watchdog flips to capacity-stall.
+	for i := 0; i < 4; i++ {
+		if !q.Enqueue(uint64(i)) {
+			t.Fatalf("seed enqueue %d rejected", i)
+		}
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				q.TryEnqueue(99) // rejected: the queue is full
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	waitFor(t, 10*time.Second, func() bool { return r.AlertDumps() >= 1 }, "an automatic alert dump")
+
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("dump dir: %v, %v", ents, err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, ents[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if d.Reason != "watchdog-alert" {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+	unhealthy := false
+	for _, f := range d.Frames {
+		if !f.HealthOK {
+			unhealthy = true
+			if !strings.Contains(f.Verdict, "capacity-stall") {
+				t.Fatalf("unhealthy frame verdict = %q, want capacity-stall", f.Verdict)
+			}
+		}
+	}
+	if !unhealthy {
+		t.Fatal("no unhealthy frame in an alert-triggered dump")
+	}
+	alertEvent := false
+	for _, ev := range d.Events {
+		if ev.Kind == "watchdog-alert" {
+			alertEvent = true
+		}
+	}
+	if !alertEvent {
+		t.Fatalf("watchdog-alert event missing from the dump tail: %+v", d.Events)
+	}
+}

@@ -49,6 +49,9 @@ type Counters struct {
 	BatchSpill    uint64 // LCRQ: batches that spilled into a freshly appended ring
 	GateSpins     uint64 // LCRQ+H: cluster admission gate spin iterations
 
+	TraceArms uint64 // tracing: enqueue-side stamps armed (sampled + forced)
+	TraceHits uint64 // tracing: stamped items claimed by this thread's dequeues
+
 	CombinerRuns uint64 // combining queues: times this thread combined
 	Combined     uint64 // combining queues: operations applied while combining
 	LockAcq      uint64 // lock acquisitions (blocking queues)
@@ -81,6 +84,8 @@ func (c *Counters) Add(o *Counters) {
 	c.BatchDequeues += o.BatchDequeues
 	c.BatchSpill += o.BatchSpill
 	c.GateSpins += o.GateSpins
+	c.TraceArms += o.TraceArms
+	c.TraceHits += o.TraceHits
 	c.CombinerRuns += o.CombinerRuns
 	c.Combined += o.Combined
 	c.LockAcq += o.LockAcq

@@ -123,6 +123,20 @@ func New(cfg Config) *Client {
 	}
 }
 
+// Spans decomposes one client call's wall time for cross-layer trace
+// attribution: where an operation's latency went, as seen from the caller.
+// Backoff is the client-inflicted part (retry sleeps); Wire is time spent
+// inside HTTP exchanges (rejected attempts included); LastWire is the final
+// — for successful calls, the accepted — exchange alone, so Wire-LastWire
+// is the cost of the attempts the server turned away (shed/full/deadline).
+type Spans struct {
+	Attempts int           // HTTP exchanges performed
+	Backoff  time.Duration // total slept between attempts (the client-backoff span)
+	Wire     time.Duration // total time inside HTTP exchanges, all attempts
+	LastWire time.Duration // the final exchange alone
+	Total    time.Duration // end-to-end call time, Backoff and Wire included
+}
+
 // APIError is a non-2xx answer from the server, decoded.
 type APIError struct {
 	Status     int
@@ -181,6 +195,41 @@ func (c *Client) Dequeue(ctx context.Context, max int, wait time.Duration) ([]ui
 		return nil, err
 	}
 	return out.Values, nil
+}
+
+// EnqueueTraced is EnqueueKeyed with a trace identity: the server stamps
+// traceID onto the first value it accepts, so the dequeue that claims the
+// value reports the identity and its measured ring sojourn. Retries resend
+// the same key and traceID, keeping a replayed accept one trace. The
+// returned Spans decompose this call's wall time (backoff vs wire) for
+// end-to-end latency attribution.
+func (c *Client) EnqueueTraced(ctx context.Context, key string, values []uint64, timeout time.Duration, traceID uint64) (int, Spans, error) {
+	if key == "" {
+		key = fmt.Sprintf("%s-%d", c.cfg.KeyPrefix, c.keySeq.Add(1))
+	}
+	req := resilience.EnqueueRequest{
+		Values:         values,
+		TimeoutMs:      timeout.Milliseconds(),
+		IdempotencyKey: key,
+		TraceID:        resilience.FormatTraceID(traceID),
+	}
+	var out resilience.EnqueueResponse
+	sp, err := c.doSpans(ctx, "/v1/enqueue", req, &out)
+	return out.Accepted, sp, err
+}
+
+// DequeueTraced is Dequeue returning the item traces riding on the
+// response (stamped items among the values) and the call's Spans. Most
+// responses carry no traces unless the server's queue samples aggressively
+// or enqueuers force identities.
+func (c *Client) DequeueTraced(ctx context.Context, max int, wait time.Duration) ([]uint64, []resilience.WireTrace, Spans, error) {
+	req := resilience.DequeueRequest{Max: max, WaitMs: wait.Milliseconds()}
+	var out resilience.DequeueResponse
+	sp, err := c.doSpans(ctx, "/v1/dequeue", req, &out)
+	if err != nil {
+		return nil, nil, sp, err
+	}
+	return out.Values, out.Traces, sp, nil
 }
 
 // EnqueueAll pushes every value, splitting into batches of batchSize and
@@ -243,9 +292,18 @@ func (c *Client) EnqueueAll(ctx context.Context, values []uint64, batchSize, inf
 
 // do runs one request with the retry loop.
 func (c *Client) do(ctx context.Context, path string, reqBody, respBody any) error {
+	_, err := c.doSpans(ctx, path, reqBody, respBody)
+	return err
+}
+
+// doSpans is do with span accounting: every sleep and exchange is timed so
+// traced callers can attribute the call's latency (see Spans).
+func (c *Client) doSpans(ctx context.Context, path string, reqBody, respBody any) (Spans, error) {
+	var sp Spans
+	start := time.Now()
 	payload, err := json.Marshal(reqBody)
 	if err != nil {
-		return err
+		return sp, err
 	}
 	c.budget.deposit()
 
@@ -255,26 +313,37 @@ func (c *Client) do(ctx context.Context, path string, reqBody, respBody any) err
 			// A retry must clear the budget first, then wait out the backoff.
 			if !c.budget.withdraw() {
 				c.BudgetDenied.Add(1)
-				return fmt.Errorf("%w after %w", ErrBudgetExhausted, lastErr)
+				sp.Total = time.Since(start)
+				return sp, fmt.Errorf("%w after %w", ErrBudgetExhausted, lastErr)
 			}
 			c.Retries.Add(1)
-			if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
-				return err
+			t0 := time.Now()
+			err := c.sleep(ctx, c.backoff(attempt, lastErr))
+			sp.Backoff += time.Since(t0)
+			if err != nil {
+				sp.Total = time.Since(start)
+				return sp, err
 			}
 		}
+		t0 := time.Now()
 		lastErr = c.once(ctx, path, payload, respBody)
+		sp.LastWire = time.Since(t0)
+		sp.Wire += sp.LastWire
+		sp.Attempts++
 		if lastErr == nil {
-			return nil
+			sp.Total = time.Since(start)
+			return sp, nil
 		}
 		var apiErr *APIError
 		if errors.As(lastErr, &apiErr) && !apiErr.Retryable() {
-			return lastErr
+			break
 		}
 		if ctx.Err() != nil {
-			return lastErr
+			break
 		}
 	}
-	return lastErr
+	sp.Total = time.Since(start)
+	return sp, lastErr
 }
 
 // once performs a single HTTP exchange.

@@ -29,6 +29,9 @@ type Counters struct {
 	DrainedItems   atomic.Uint64 // items delivered after the drain began
 	DrainExpiry    atomic.Uint64 // drains that hit their deadline with items still queued
 	HealthPolls    atomic.Uint64 // health observations fed to the shedder
+
+	TracedAccepts    atomic.Uint64 // enqueue RPCs that deposited a client-forced trace stamp
+	TracedDeliveries atomic.Uint64 // item traces reported on dequeue responses
 }
 
 // counterSpec drives both exporters, keeping the Prometheus and snapshot
@@ -56,6 +59,8 @@ func (c *Counters) specs() []counterSpec {
 		{"lcrq_qserve_drained_items_total", "Items delivered after the drain began.", &c.DrainedItems},
 		{"lcrq_qserve_drain_expiry_total", "Drains that hit their deadline with items still queued.", &c.DrainExpiry},
 		{"lcrq_qserve_health_polls_total", "Health observations fed to the shedder.", &c.HealthPolls},
+		{"lcrq_qserve_traced_accepts_total", "Enqueue RPCs that deposited a client-forced trace stamp.", &c.TracedAccepts},
+		{"lcrq_qserve_traced_deliveries_total", "Item traces reported on dequeue responses.", &c.TracedDeliveries},
 	}
 }
 

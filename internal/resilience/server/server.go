@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"lcrq"
+	"lcrq/internal/buildmeta"
 	"lcrq/internal/resilience"
 )
 
@@ -57,6 +58,10 @@ type Config struct {
 	// DedupCapacity sizes the idempotency cache (default 65536; < 0
 	// disables dedup).
 	DedupCapacity int
+	// Blackbox, when set, is mounted at GET /admin/blackbox — cmd/qserve
+	// passes the flight recorder's dump handler so operators can pull the
+	// always-on incident record from a live process.
+	Blackbox http.Handler
 	// Logf, when set, receives one line per lifecycle transition.
 	Logf func(format string, args ...any)
 }
@@ -71,6 +76,7 @@ type Server struct {
 	life  *resilience.Lifecycle
 	dedup *resilience.Dedup
 	ctrs  resilience.Counters
+	build buildmeta.Meta // collected once at startup; /statsz embeds it
 	mux   *http.ServeMux
 
 	enqGate   sync.RWMutex // held (R) across each enqueue; (W) by drain to settle them
@@ -107,6 +113,7 @@ func New(cfg Config) *Server {
 		rate:  &resilience.DrainRate{},
 		life:  &resilience.Lifecycle{},
 		dedup: resilience.NewDedup(cfg.DedupCapacity),
+		build: buildmeta.Collect(),
 		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/enqueue", s.handleEnqueue)
@@ -114,7 +121,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
 	s.mux.Handle("GET /metrics", s.metricsHandler())
+	s.mux.Handle("GET /traces", s.q.TraceHandler())
 	s.mux.HandleFunc("POST /admin/drain", s.handleAdminDrain)
+	if cfg.Blackbox != nil {
+		s.mux.Handle("GET /admin/blackbox", cfg.Blackbox)
+	}
 	go s.poll()
 	return s
 }
@@ -281,11 +292,28 @@ func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	var traceID uint64
+	traced := req.TraceID != ""
+	if traced {
+		id, err := resilience.ParseTraceID(req.TraceID)
+		if err != nil {
+			s.ctrs.BadRequests.Add(1)
+			writeErr(w, http.StatusBadRequest, resilience.ErrTokenBadRequest, "bad trace_id: "+err.Error(), 0)
+			return
+		}
+		traceID = id
+	}
+
 	// Idempotent replay: a key we already executed answers from the
-	// record, touching nothing.
+	// record, touching nothing. The replayed accept already deposited its
+	// stamp, so the echo keeps the trace identity without re-stamping.
 	if out, ok := s.dedup.Seen(req.IdempotencyKey); ok {
 		s.ctrs.IdempotentHits.Add(1)
-		writeJSON(w, out.Status, resilience.EnqueueResponse{Accepted: out.Accepted})
+		resp := resilience.EnqueueResponse{Accepted: out.Accepted}
+		if traced && out.Accepted > 0 {
+			resp.TraceID = req.TraceID
+		}
+		writeJSON(w, out.Status, resp)
 		return
 	}
 
@@ -307,11 +335,18 @@ func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.reqContext(r, req.TimeoutMs, true)
 	defer cancel()
-	accepted, err := s.enqueue(ctx, req.Values, req.TimeoutMs > 0)
+	accepted, err := s.enqueue(ctx, req.Values, req.TimeoutMs > 0, traceID, traced)
 	if accepted > 0 {
 		s.ctrs.ItemsAccepted.Add(uint64(accepted))
+		if traced {
+			s.ctrs.TracedAccepts.Add(1)
+		}
 	}
-	status := s.enqueueStatus(w, r, accepted, err)
+	echo := ""
+	if traced && accepted > 0 {
+		echo = req.TraceID
+	}
+	status := s.enqueueStatus(w, r, accepted, err, echo)
 	// Record only executions with side effects: replaying a 0-accepted
 	// failure re-executes harmlessly, but replaying an accept must not
 	// enqueue twice.
@@ -325,9 +360,19 @@ func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
 // when there is not (it blocks until budget frees, the queue closes, or
 // ctx ends), then back to batching. Without wait (timeout_ms 0) a full
 // queue reports ErrFull after the single batch attempt.
-func (s *Server) enqueue(ctx context.Context, vs []uint64, wait bool) (accepted int, err error) {
+//
+// When traced, the first value to land carries an item trace of identity
+// traceID (one stamp per request, mirroring the queue's one-trace-per-
+// operation rule); once any value is in, the remainder proceeds untraced.
+func (s *Server) enqueue(ctx context.Context, vs []uint64, wait bool, traceID uint64, traced bool) (accepted int, err error) {
 	for accepted < len(vs) {
-		n, berr := s.q.EnqueueBatch(vs[accepted:])
+		var n int
+		var berr error
+		if traced && accepted == 0 {
+			n, berr = s.q.EnqueueBatchTraced(vs, traceID)
+		} else {
+			n, berr = s.q.EnqueueBatch(vs[accepted:])
+		}
 		accepted += n
 		if accepted == len(vs) {
 			return accepted, nil
@@ -337,7 +382,13 @@ func (s *Server) enqueue(ctx context.Context, vs []uint64, wait bool) (accepted 
 		}
 		// Full. Wait for budget via the single-value path, which carries
 		// the backoff and the taxonomy (ErrFull+ctx wrapped on expiry).
-		if werr := s.q.EnqueueWait(ctx, vs[accepted]); werr != nil {
+		var werr error
+		if traced && accepted == 0 {
+			werr = s.q.EnqueueWaitTraced(ctx, vs[0], traceID)
+		} else {
+			werr = s.q.EnqueueWait(ctx, vs[accepted])
+		}
+		if werr != nil {
 			return accepted, werr
 		}
 		accepted++
@@ -346,12 +397,12 @@ func (s *Server) enqueue(ctx context.Context, vs []uint64, wait bool) (accepted 
 }
 
 // enqueueStatus maps the outcome onto the wire and reports the status used.
-func (s *Server) enqueueStatus(w http.ResponseWriter, r *http.Request, accepted int, err error) int {
+func (s *Server) enqueueStatus(w http.ResponseWriter, r *http.Request, accepted int, err error, traceID string) int {
 	switch {
 	case err == nil, accepted > 0:
 		// Full or partial accept: the client learns how many leading
 		// values are in; the remainder is safely resendable.
-		writeJSON(w, http.StatusOK, resilience.EnqueueResponse{Accepted: accepted})
+		writeJSON(w, http.StatusOK, resilience.EnqueueResponse{Accepted: accepted, TraceID: traceID})
 		return http.StatusOK
 	case errors.Is(err, lcrq.ErrClosed), s.life.State() != resilience.Serving:
 		// Closed, or the wait was cut short by a drain beginning.
@@ -409,18 +460,25 @@ func (s *Server) handleDequeue(w http.ResponseWriter, r *http.Request) {
 	// Closed is read before the poll: observing (closed, then empty) in
 	// that order proves the queue is drained for good, as in DequeueWait.
 	closed := s.q.Closed()
-	n := s.q.DequeueBatch(out)
+	n, hits := s.q.DequeueBatchTraced(out)
 	if n == 0 && req.WaitMs <= 0 && closed {
 		s.ctrs.ClosedRejects.Add(1)
 		writeErr(w, http.StatusServiceUnavailable, resilience.ErrTokenClosed, "queue closed and drained", 0)
 		return
 	}
 	if n == 0 && req.WaitMs > 0 {
-		v, err := s.q.DequeueWait(ctx)
+		v, waitHits, err := s.q.DequeueWaitTraced(ctx)
 		switch {
 		case err == nil:
 			out[0] = v
-			n = 1 + s.q.DequeueBatch(out[1:])
+			var tailHits []lcrq.ItemTrace
+			n, tailHits = s.q.DequeueBatchTraced(out[1:])
+			n++
+			// Reindex the tail batch's positions past the waited value.
+			for i := range tailHits {
+				tailHits[i].Pos++
+			}
+			hits = append(waitHits, tailHits...)
 		case errors.Is(err, lcrq.ErrClosed):
 			// Closed AND drained: terminal — no value is ever coming.
 			s.ctrs.ClosedRejects.Add(1)
@@ -443,7 +501,20 @@ func (s *Server) handleDequeue(w http.ResponseWriter, r *http.Request) {
 			s.ctrs.DrainedItems.Add(uint64(n))
 		}
 	}
-	writeJSON(w, http.StatusOK, resilience.DequeueResponse{Values: out[:n]})
+	resp := resilience.DequeueResponse{Values: out[:n]}
+	if len(hits) > 0 {
+		s.ctrs.TracedDeliveries.Add(uint64(len(hits)))
+		resp.Traces = make([]resilience.WireTrace, len(hits))
+		for i, h := range hits {
+			resp.Traces[i] = resilience.WireTrace{
+				ID:               resilience.FormatTraceID(h.ID),
+				Pos:              h.Pos,
+				EnqueuedAtUnixNs: h.EnqueuedAt.UnixNano(),
+				SojournNs:        h.Sojourn.Nanoseconds(),
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz answers load-balancer checks: 200 while serving (shedding
@@ -464,10 +535,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleStatsz serves the full observability snapshot as JSON: lifecycle,
-// shed state, queue health, the server's counter ledger, and the tail of
-// the queue's event trace (watchdog-alert / watchdog-recover included, so
-// a harness can verify the shed/recover sequence without scraping text).
+// handleStatsz serves the full observability snapshot as JSON: build
+// provenance (commit, GOMAXPROCS, collection timestamp), lifecycle, shed
+// state, queue health, the server's counter ledger, operation latency and
+// item-sojourn summaries, and the tail of the queue's event trace
+// (watchdog-alert / watchdog-recover included, so a harness can verify the
+// shed/recover sequence without scraping text). cmd/qtop renders this
+// endpoint live.
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	m := s.q.Metrics()
 	evs := s.q.Events()
@@ -479,7 +553,18 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 	for _, e := range evs {
 		tail = append(tail, ev{Seq: e.Seq, Kind: e.Kind})
 	}
+	lat := func(l lcrq.LatencySummary) map[string]any {
+		return map[string]any{
+			"samples": l.Samples,
+			"mean_ns": l.Mean.Nanoseconds(),
+			"p50_ns":  l.P50.Nanoseconds(),
+			"p99_ns":  l.P99.Nanoseconds(),
+			"p999_ns": l.P999.Nanoseconds(),
+			"max_ns":  l.Max.Nanoseconds(),
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"build":       s.build,
 		"state":       s.life.State().String(),
 		"shed":        s.shed.State(),
 		"health":      m.Health,
@@ -490,6 +575,21 @@ func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 		"drain_rate":  s.rate.PerSecond(),
 		"ring_events": m.RingEvents,
 		"events":      tail,
+		"stats": map[string]any{
+			"enqueues":   m.Stats.Enqueues,
+			"dequeues":   m.Stats.Dequeues,
+			"empty":      m.Stats.Empty,
+			"trace_arms": m.Stats.TraceArms,
+			"trace_hits": m.Stats.TraceHits,
+		},
+		"latency": map[string]any{
+			"enqueue":      lat(m.Enqueue),
+			"dequeue":      lat(m.Dequeue),
+			"dequeue_wait": lat(m.DequeueWait),
+			"enqueue_wait": lat(m.EnqueueWait),
+		},
+		"sojourn":        lat(m.Sojourn),
+		"trace_sample_n": m.TraceSampleN,
 	})
 }
 

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lcrq"
+	"lcrq/internal/resilience"
+)
+
+// TestWireTraceRoundTrip drives one traced request through the wire: the
+// enqueue carries a trace_id, the server stamps it into the queue, and the
+// dequeue response reports the identity with a measured sojourn — the
+// queue-residency span of the cross-layer decomposition.
+func TestWireTraceRoundTrip(t *testing.T) {
+	ts, s, _ := newTestServer(t, Config{}, lcrq.WithForcedTracingOnly())
+
+	before := time.Now().UnixNano()
+	req := resilience.EnqueueRequest{Values: []uint64{7, 8, 9}, TraceID: "0xbeef"}
+	resp, data := postJSON(t, ts.URL+"/v1/enqueue", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("enqueue status %d: %s", resp.StatusCode, data)
+	}
+	var enq resilience.EnqueueResponse
+	if err := json.Unmarshal(data, &enq); err != nil {
+		t.Fatal(err)
+	}
+	if enq.Accepted != 3 || enq.TraceID != "0xbeef" {
+		t.Fatalf("enqueue response = %+v, want 3 accepted with trace echo", enq)
+	}
+
+	resp, data = postJSON(t, ts.URL+"/v1/dequeue", resilience.DequeueRequest{Max: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dequeue status %d: %s", resp.StatusCode, data)
+	}
+	var deq resilience.DequeueResponse
+	if err := json.Unmarshal(data, &deq); err != nil {
+		t.Fatal(err)
+	}
+	if len(deq.Values) != 3 {
+		t.Fatalf("values = %v", deq.Values)
+	}
+	if len(deq.Traces) != 1 {
+		t.Fatalf("traces = %+v, want exactly one (first value of the batch)", deq.Traces)
+	}
+	tr := deq.Traces[0]
+	if tr.ID != "0xbeef" || tr.Pos != 0 {
+		t.Fatalf("trace = %+v, want ID 0xbeef at Pos 0", tr)
+	}
+	if tr.SojournNs < 0 {
+		t.Fatalf("negative sojourn %d", tr.SojournNs)
+	}
+	if tr.EnqueuedAtUnixNs < before || tr.EnqueuedAtUnixNs > time.Now().UnixNano() {
+		t.Fatalf("enqueue stamp %d outside the test window", tr.EnqueuedAtUnixNs)
+	}
+	if s.Counters().TracedAccepts.Load() != 1 || s.Counters().TracedDeliveries.Load() != 1 {
+		t.Fatalf("trace counters: accepts=%d deliveries=%d",
+			s.Counters().TracedAccepts.Load(), s.Counters().TracedDeliveries.Load())
+	}
+
+	// The completed trace is retained server-side for /traces lookup.
+	r, err := http.Get(ts.URL + "/traces?id=0xbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || !strings.Contains(string(body), "0xbeef") {
+		t.Fatalf("/traces lookup: %d %s", r.StatusCode, body)
+	}
+}
+
+// TestWireTraceLongPoll covers the DequeueWait path: a trace stamped after
+// the long-poll began must come back on the waited response.
+func TestWireTraceLongPoll(t *testing.T) {
+	ts, _, _ := newTestServer(t, Config{}, lcrq.WithForcedTracingOnly())
+
+	done := make(chan resilience.DequeueResponse, 1)
+	go func() {
+		_, data := postJSON(t, ts.URL+"/v1/dequeue", resilience.DequeueRequest{Max: 4, WaitMs: 5000})
+		var out resilience.DequeueResponse
+		_ = json.Unmarshal(data, &out)
+		done <- out
+	}()
+	time.Sleep(20 * time.Millisecond)
+	postJSON(t, ts.URL+"/v1/enqueue", resilience.EnqueueRequest{Values: []uint64{5}, TraceID: "77"})
+	out := <-done
+	if len(out.Values) != 1 || out.Values[0] != 5 {
+		t.Fatalf("values = %v", out.Values)
+	}
+	if len(out.Traces) != 1 || out.Traces[0].ID != "0x4d" || out.Traces[0].Pos != 0 {
+		t.Fatalf("traces = %+v, want decimal 77 back as 0x4d at Pos 0", out.Traces)
+	}
+}
+
+// TestBadTraceID: an unparseable trace_id is a 400 before anything touches
+// the queue.
+func TestBadTraceID(t *testing.T) {
+	ts, s, _ := newTestServer(t, Config{}, lcrq.WithForcedTracingOnly())
+	resp, data := postJSON(t, ts.URL+"/v1/enqueue",
+		resilience.EnqueueRequest{Values: []uint64{1}, TraceID: "not-a-number"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if s.Counters().ItemsAccepted.Load() != 0 {
+		t.Fatal("bad trace_id reached the queue")
+	}
+}
+
+// TestStatszBuildMeta: /statsz embeds the build provenance block and the
+// sojourn summary, so dashboards and dump archives know which commit and
+// processor budget produced the numbers.
+func TestStatszBuildMeta(t *testing.T) {
+	ts, _, _ := newTestServer(t, Config{}, lcrq.WithTracing(1))
+	postJSON(t, ts.URL+"/v1/enqueue", resilience.EnqueueRequest{Values: []uint64{1}})
+	postJSON(t, ts.URL+"/v1/dequeue", resilience.DequeueRequest{Max: 1})
+
+	r, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var stats struct {
+		Build struct {
+			Commit     string `json:"commit"`
+			GoMaxProcs int    `json:"gomaxprocs"`
+			Timestamp  string `json:"timestamp"`
+		} `json:"build"`
+		Sojourn struct {
+			Samples uint64 `json:"samples"`
+		} `json:"sojourn"`
+		TraceSampleN int `json:"trace_sample_n"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Build.Commit == "" || stats.Build.GoMaxProcs < 1 || stats.Build.Timestamp == "" {
+		t.Fatalf("build meta incomplete: %+v", stats.Build)
+	}
+	if stats.TraceSampleN != 1 {
+		t.Fatalf("trace_sample_n = %d, want 1", stats.TraceSampleN)
+	}
+	if stats.Sojourn.Samples == 0 {
+		t.Fatal("sojourn summary empty despite 1-in-1 tracing")
+	}
+}
+
+// TestScrapesDuringDrain hammers /metrics and /statsz from concurrent
+// scrapers while a graceful drain (the SIGTERM path) runs underneath —
+// the observability endpoints must stay consistent and race-free through
+// the serving→draining→closed transition. Run with -race.
+func TestScrapesDuringDrain(t *testing.T) {
+	ts, s, _ := newTestServer(t, Config{DrainDeadline: 5 * time.Second}, lcrq.WithTracing(2), lcrq.WithWatchdog(time.Millisecond))
+
+	// Seed traffic so every exported series is live.
+	for i := 0; i < 64; i++ {
+		postJSON(t, ts.URL+"/v1/enqueue", resilience.EnqueueRequest{Values: []uint64{uint64(i)}, TraceID: resilience.FormatTraceID(uint64(i + 1))})
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	scrape := func(path string) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r, err := http.Get(ts.URL + path)
+			if err != nil {
+				continue // listener may be mid-shutdown; the race detector is the assertion
+			}
+			_, _ = io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+		}
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(2)
+		go scrape("/metrics")
+		go scrape("/statsz")
+	}
+	// A consumer drains the queue so the drain can complete.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			postJSON(t, ts.URL+"/v1/dequeue", resilience.DequeueRequest{Max: 32})
+		}
+	}()
+
+	time.Sleep(10 * time.Millisecond)
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Keep scraping a beat after the drain completes, then stop.
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The endpoints must still answer after the drain.
+	r, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || !strings.Contains(string(body), `"state":"draining"`) &&
+		!strings.Contains(string(body), `"state":"closed"`) {
+		t.Fatalf("/statsz after drain: %d %s", r.StatusCode, body)
+	}
+}

@@ -7,6 +7,10 @@ package resilience
 // Values are uint64, carried as JSON numbers: exact through Go's
 // encoder/decoder at any magnitude, but JavaScript consumers lose precision
 // past 2^53 — keep wire values below that if a JS client is in the loop.
+// Trace identities, which routinely use all 64 bits, are carried as strings
+// for the same reason.
+
+import "strconv"
 
 // EnqueueRequest asks the server to append Values in order.
 type EnqueueRequest struct {
@@ -21,6 +25,14 @@ type EnqueueRequest struct {
 	// replay of a key the server already executed returns the recorded
 	// outcome instead of enqueueing again.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// TraceID, when set, forces an item trace with this identity onto the
+	// first value the server accepts: the dequeue that later claims that
+	// value reports the identity and the measured ring sojourn in
+	// DequeueResponse.Traces, and the server retains it for /traces lookup.
+	// Encoded as a string ("0x..." hex or decimal) because 64-bit JSON
+	// numbers lose precision in JavaScript. Resends under one idempotency
+	// key keep the same TraceID, so a replayed accept stays one trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // EnqueueResponse reports how many leading values were accepted. Accepted
@@ -28,6 +40,9 @@ type EnqueueRequest struct {
 // Values[Accepted:] are NOT in the queue and may be resent.
 type EnqueueResponse struct {
 	Accepted int `json:"accepted"`
+	// TraceID echoes the request's trace identity when one was supplied
+	// and at least one value was accepted (i.e. the stamp was deposited).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // DequeueRequest asks for up to Max values.
@@ -44,7 +59,31 @@ type DequeueRequest struct {
 // the queue had nothing within the wait.
 type DequeueResponse struct {
 	Values []uint64 `json:"values"`
+	// Traces reports the stamped items among Values — sampled by the
+	// queue's own 1-in-N tracing or forced by an enqueuer's trace_id.
+	// Usually empty; at most one per stamped item.
+	Traces []WireTrace `json:"traces,omitempty"`
 }
+
+// WireTrace is one completed item trace riding on a dequeue response: the
+// queue-residency span of the cross-layer trace decomposition.
+type WireTrace struct {
+	// ID is the trace identity, formatted as in EnqueueRequest.TraceID.
+	ID string `json:"id"`
+	// Pos indexes the stamped item within DequeueResponse.Values.
+	Pos int `json:"pos"`
+	// EnqueuedAtUnixNs is the server-clock time the item was deposited.
+	EnqueuedAtUnixNs int64 `json:"enqueued_at_unix_ns"`
+	// SojournNs is how long the item sat in the ring before this dequeue
+	// claimed it.
+	SojournNs int64 `json:"sojourn_ns"`
+}
+
+// FormatTraceID renders a trace identity the way the wire carries it.
+func FormatTraceID(id uint64) string { return "0x" + strconv.FormatUint(id, 16) }
+
+// ParseTraceID parses a wire trace identity ("0x..." hex or decimal).
+func ParseTraceID(s string) (uint64, error) { return strconv.ParseUint(s, 0, 64) }
 
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {

@@ -107,7 +107,9 @@ type Sink struct {
 	seedCtr atomic.Uint64              // sampling phase scrambler
 	hists   [NumKinds]*latHist
 	batches [NumBatchKinds]*latHist // batch-size distributions (items, not ns)
+	sojourn *latHist                // item ring-residency (sampled item traces)
 	events  *eventRing
+	traces  *traceRing // recent completed item traces
 	evCount [core.NumRingEvents]atomic.Uint64
 }
 
@@ -126,6 +128,8 @@ func New(sampleN int, eventCap int) *Sink {
 		epoch:   time.Now().UnixNano(),
 		retPub:  instrument.NewAtomicCounters(),
 		events:  newEventRing(eventCap),
+		traces:  newTraceRing(DefaultTraceBuffer),
+		sojourn: newLatHist(),
 	}
 	empty := []*Rec{}
 	s.recs.Store(&empty)
@@ -265,6 +269,7 @@ type Snapshot struct {
 	SampleN     int // latency sampling stride (0 = disabled)
 	Latency     [NumKinds]LatencySnapshot
 	BatchSizes  [NumBatchKinds]LatencySnapshot // sizes in items, not ns
+	Sojourn     LatencySnapshot                // item ring-residency (sampled traces)
 	EventCounts [core.NumRingEvents]uint64
 	Chaos       []ChaosCount
 }
@@ -287,6 +292,7 @@ func (s *Sink) Snapshot() Snapshot {
 	for k := range s.batches {
 		snap.BatchSizes[k] = s.batches[k].snapshot()
 	}
+	snap.Sojourn = s.sojourn.snapshot()
 	for ev := range s.evCount {
 		snap.EventCounts[ev] = s.evCount[ev].Load()
 	}

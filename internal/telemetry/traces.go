@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceBuffer is the default capacity of the recent-traces ring.
+const DefaultTraceBuffer = 256
+
+// TraceRecord is one completed item trace: a stamped item that a dequeue
+// claimed, with its identity and ring residency.
+type TraceRecord struct {
+	Seq        uint64 // global 0-based completion sequence number
+	ID         uint64 // trace identity stamped at enqueue
+	EnqueuedAt time.Time
+	Sojourn    time.Duration // ring residency (dequeue time − enqueue time)
+}
+
+// traceRing is a bounded lock-free MPMC buffer of the most recent completed
+// traces, built on the same claim-with-F&A / publish-sequence-last idiom as
+// eventRing. Payload words are individually atomic; the per-slot sequence
+// word is stored last and re-checked by readers, so a snapshot never
+// contains a torn record — a slot overwritten mid-read is skipped.
+type traceRing struct {
+	mask   uint64
+	cursor atomic.Uint64
+	slots  []traceSlot
+}
+
+type traceSlot struct {
+	seq atomic.Uint64 // published sequence + 1; 0 = never written
+	id  atomic.Uint64
+	enq atomic.Int64
+	soj atomic.Int64
+}
+
+func newTraceRing(capacity int) *traceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	size := 1 << bits.Len(uint(capacity-1)) // round up to a power of two
+	return &traceRing{mask: uint64(size - 1), slots: make([]traceSlot, size)}
+}
+
+func (r *traceRing) add(id uint64, enqUnixNs, sojournNs int64) {
+	i := r.cursor.Add(1) - 1
+	s := &r.slots[i&r.mask]
+	s.seq.Store(0) // unpublish while the payload is replaced
+	s.id.Store(id)
+	s.enq.Store(enqUnixNs)
+	s.soj.Store(sojournNs)
+	s.seq.Store(i + 1)
+}
+
+// snapshot collects the currently published records, oldest first.
+func (r *traceRing) snapshot() []TraceRecord {
+	out := make([]TraceRecord, 0, len(r.slots))
+	for i := range r.slots {
+		s := &r.slots[i]
+		s1 := s.seq.Load()
+		if s1 == 0 {
+			continue
+		}
+		id := s.id.Load()
+		enq := s.enq.Load()
+		soj := s.soj.Load()
+		if s.seq.Load() != s1 {
+			continue // overwritten mid-read
+		}
+		out = append(out, TraceRecord{
+			Seq:        s1 - 1,
+			ID:         id,
+			EnqueuedAt: time.Unix(0, enq),
+			Sojourn:    time.Duration(soj),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// find returns the most recent published record carrying id.
+func (r *traceRing) find(id uint64) (TraceRecord, bool) {
+	var best TraceRecord
+	found := false
+	for i := range r.slots {
+		s := &r.slots[i]
+		s1 := s.seq.Load()
+		if s1 == 0 || s.id.Load() != id {
+			continue
+		}
+		enq := s.enq.Load()
+		soj := s.soj.Load()
+		if s.seq.Load() != s1 {
+			continue
+		}
+		if !found || s1-1 > best.Seq {
+			best = TraceRecord{Seq: s1 - 1, ID: id, EnqueuedAt: time.Unix(0, enq), Sojourn: time.Duration(soj)}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// ItemSojourn implements core.TraceTap: it feeds the sojourn histogram and
+// records the completed trace. Called at the item-trace sampling cadence
+// (1-in-N enqueued items), never per operation.
+func (s *Sink) ItemSojourn(id uint64, enqUnixNs, sojournNs int64) {
+	s.sojourn.record(sojournNs)
+	s.traces.add(id, enqUnixNs, sojournNs)
+}
+
+// Traces returns the recent completed item traces, oldest first.
+// Best-effort under concurrent writers, like Events.
+func (s *Sink) Traces() []TraceRecord {
+	return s.traces.snapshot()
+}
+
+// FindTrace returns the most recent completed trace carrying id, if it is
+// still in the buffer.
+func (s *Sink) FindTrace(id uint64) (TraceRecord, bool) {
+	return s.traces.find(id)
+}

@@ -111,6 +111,11 @@ func New(opts ...Option) *Queue {
 		}
 		q.tel = telemetry.New(n, 0)
 		cfg.Tap = q.tel
+		if cfg.TraceSampleN != 0 {
+			// The sink aggregates sampled item sojourns (histogram + recent
+			// traces) exactly as it does latency and lifecycle events.
+			cfg.TraceTap = q.tel
+		}
 	}
 	q.q = core.NewLCRQ(cfg)
 	q.pool.New = func() any {

@@ -51,6 +51,11 @@ type Metrics struct {
 	// SampleN is the latency sampling stride (0 = latency sampling off).
 	SampleN int
 
+	// TraceSampleN is the item-trace sampling stride (WithTracing): 0 when
+	// tracing is off, >0 for 1-in-N sampling, -1 when only forced traces
+	// are stamped (WithForcedTracingOnly).
+	TraceSampleN int
+
 	// Depth approximates the number of queued items as the sum of per-ring
 	// tail−head index deltas. Exact only on a quiescent queue.
 	Depth int64
@@ -90,6 +95,13 @@ type Metrics struct {
 	Dequeue     LatencySummary
 	DequeueWait LatencySummary
 	EnqueueWait LatencySummary
+
+	// Sojourn is the sampled item ring-residency distribution (WithTracing):
+	// how long stamped items sat in the queue between their enqueue deposit
+	// and the dequeue that claimed them. Distinct from the operation
+	// latencies above — a queue can have microsecond operations and
+	// second-long sojourns when producers outpace consumers.
+	Sojourn LatencySummary
 
 	// Accepted batch-size distributions of the batch entry points (always
 	// zero when the batch API is unused).
@@ -167,6 +179,8 @@ func (q *Queue) Metrics() Metrics {
 	m.Stats = statsFromCounters(&snap.Counters)
 	m.Handles = snap.Handles
 	m.SampleN = snap.SampleN
+	m.TraceSampleN = q.q.TraceSampleN()
+	m.Sojourn = summarize(snap.Sojourn)
 	m.Enqueue = summarize(snap.Latency[telemetry.KindEnqueue])
 	m.Dequeue = summarize(snap.Latency[telemetry.KindDequeue])
 	m.DequeueWait = summarize(snap.Latency[telemetry.KindDequeueWait])

@@ -119,6 +119,43 @@ func WithLatencySampling(n int) Option {
 	}
 }
 
+// WithTracing enables sampled item-level tracing (and telemetry, which
+// carries its aggregates): every n-th value a handle enqueues is stamped
+// with a trace ID and timestamp, and the dequeue that claims it measures the
+// value's ring sojourn — how long the item sat in the queue, as opposed to
+// how long the operations took. Sojourn quantiles appear in
+// Metrics.Sojourn, the Prometheus export (lcrq_sojourn_seconds), and the
+// Queue.TraceHandler JSON endpoint; individual traces are readable via
+// Queue.RecentTraces and per-operation via Handle.LastDequeueTraces.
+//
+// n ≤ 0 selects the default stride (1024). Callers can additionally force a
+// trace with a chosen identity onto the next enqueue (Handle.ForceTrace) —
+// that is how the qserve wire path threads a client's trace ID through the
+// queue. Tracing adds two predictable branches to the traced queue's
+// operation paths and touches the clock only for the 1-in-n stamped items
+// (TestTracingOffOverhead and TestTracingSampledOverhead pin both costs).
+func WithTracing(n int) Option {
+	return func(c *core.Config) {
+		c.Telemetry = true
+		if n <= 0 {
+			n = core.DefaultTraceSampleN
+		}
+		c.TraceSampleN = n
+	}
+}
+
+// WithForcedTracingOnly enables the item-trace machinery (stamp arrays, the
+// sojourn histogram, trace endpoints) without any sampling: only traces
+// explicitly forced with Handle.ForceTrace are stamped. Useful when an
+// upstream layer (e.g. a server honoring client trace IDs) decides what to
+// trace.
+func WithForcedTracingOnly() Option {
+	return func(c *core.Config) {
+		c.Telemetry = true
+		c.TraceSampleN = -1
+	}
+}
+
 // WithCapacity bounds the number of items in flight: an enqueue that would
 // push the exact item account past n items is rejected instead of growing
 // the queue — Enqueue reports false, TryEnqueue returns ErrFull, and
@@ -217,5 +254,8 @@ func withUnbounded() Option {
 		c.Capacity = 0
 		c.MaxRings = 0
 		c.Watchdog = 0
+		// The free list shuttles recycled slot indices; tracing it would
+		// interleave meaningless free-list sojourns with the user's series.
+		c.TraceSampleN = 0
 	}
 }

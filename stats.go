@@ -36,6 +36,9 @@ type Stats struct {
 	BatchSpills   uint64 // batches that spilled into a freshly appended ring
 	GateSpins     uint64 // hierarchical cluster-gate spin iterations
 
+	TraceArms uint64 // item-trace stamps armed on the enqueue side (sampled + forced)
+	TraceHits uint64 // stamped items this handle's dequeues claimed
+
 	CombinerRuns     uint64 // combining queues: times this thread combined
 	Combined         uint64 // combining queues: operations applied while combining
 	LockAcquisitions uint64 // lock acquisitions (blocking queues)
@@ -70,6 +73,8 @@ func statsFromCounters(c *instrument.Counters) Stats {
 		BatchDequeues:     c.BatchDequeues,
 		BatchSpills:       c.BatchSpill,
 		GateSpins:         c.GateSpins,
+		TraceArms:         c.TraceArms,
+		TraceHits:         c.TraceHits,
 		CombinerRuns:      c.CombinerRuns,
 		Combined:          c.Combined,
 		LockAcquisitions:  c.LockAcq,
@@ -111,6 +116,8 @@ func (s Stats) Add(o Stats) Stats {
 		BatchDequeues:     s.BatchDequeues + o.BatchDequeues,
 		BatchSpills:       s.BatchSpills + o.BatchSpills,
 		GateSpins:         s.GateSpins + o.GateSpins,
+		TraceArms:         s.TraceArms + o.TraceArms,
+		TraceHits:         s.TraceHits + o.TraceHits,
 		CombinerRuns:      s.CombinerRuns + o.CombinerRuns,
 		Combined:          s.Combined + o.Combined,
 		LockAcquisitions:  s.LockAcquisitions + o.LockAcquisitions,

@@ -1,0 +1,280 @@
+package lcrq
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"lcrq/internal/core"
+)
+
+// DefaultTraceSampleN is the sampling stride WithTracing uses when asked
+// for a non-positive stride: 1 stamped item per 1024 enqueues, cheap enough
+// to leave on in production (see the overhead guard in trace_test.go).
+const DefaultTraceSampleN = core.DefaultTraceSampleN
+
+// ItemTrace is one completed item trace observed by a dequeue: a value that
+// was stamped on the enqueue side (by 1-in-N sampling or ForceTrace) and
+// claimed by this handle's last dequeue operation.
+type ItemTrace struct {
+	// ID is the trace identity stamped at enqueue — generated for sampled
+	// traces, caller-chosen for forced ones.
+	ID uint64
+
+	// EnqueuedAt is when the enqueue deposited the item.
+	EnqueuedAt time.Time
+
+	// Sojourn is the item's ring residency: the time between the enqueue
+	// deposit and the dequeue claim.
+	Sojourn time.Duration
+
+	// Pos is the item's position within the claiming batch operation
+	// (always 0 for single-value dequeues).
+	Pos int
+}
+
+// TraceRecord is one entry of the queue's bounded recent-traces buffer: a
+// completed item trace as retained by telemetry, readable after the
+// dequeuing handle has moved on.
+type TraceRecord struct {
+	Seq        uint64        // global completion sequence number, 0-based
+	ID         uint64        // trace identity stamped at enqueue
+	EnqueuedAt time.Time     // when the item was deposited
+	Sojourn    time.Duration // ring residency
+}
+
+// traceIDCtr feeds NewTraceID; the splitmix64 finisher turns the sequential
+// counter into well-distributed, process-unique, nonzero identities.
+var traceIDCtr atomic.Uint64
+
+// NewTraceID returns a fresh process-unique trace identity, suitable for
+// ForceTrace. Sampled traces generate their own IDs; use this when forcing a
+// trace without an externally supplied identity (e.g. a server originating,
+// rather than propagating, a trace).
+func NewTraceID() uint64 {
+	x := traceIDCtr.Add(1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// ForceTrace arms an item trace with the given identity on this handle's
+// next enqueue: the first value it deposits is stamped with id and the
+// current time, exactly as a sampled trace would be. The arm survives
+// rejected attempts (full bounded queue) and fires on the eventual
+// successful deposit; ClearTrace cancels it. On a queue built without
+// tracing (no WithTracing / WithForcedTracingOnly) the arm is inert.
+//
+// This is the propagation primitive: a server forces the trace ID it
+// received on the wire so one identity follows the item through the queue.
+func (h *Handle) ForceTrace(id uint64) { h.h.ForceTrace(id) }
+
+// ClearTrace cancels a pending armed trace (forced or sampled) without
+// consuming it.
+func (h *Handle) ClearTrace() { h.h.ClearTrace() }
+
+// LastEnqueueTrace reports the trace stamped by this handle's most recent
+// successful enqueue operation: its identity, and whether that operation
+// deposited a stamp at all. Sampled arms make this true roughly 1-in-N
+// operations; after ForceTrace it is true on the next accepted enqueue.
+func (h *Handle) LastEnqueueTrace() (id uint64, ok bool) {
+	return h.h.LastEnqueueTrace()
+}
+
+// EnqueueTraced appends v with a forced item trace and returns the trace
+// identity it stamped (a fresh NewTraceID). ok is as for Enqueue; when ok is
+// false the trace stays armed for the handle's next accepted enqueue (use
+// ClearTrace to cancel). v must not equal Reserved.
+func (h *Handle) EnqueueTraced(v uint64) (id uint64, ok bool) {
+	id = NewTraceID()
+	h.h.ForceTrace(id)
+	return id, h.Enqueue(v)
+}
+
+// LastDequeueTraces returns the item traces observed by this handle's most
+// recent dequeue operation — at most one for Dequeue/DequeueWait, up to the
+// trace buffer bound for DequeueBatch. The result is a copy; it remains
+// valid across later operations. Most dequeues of a traced queue return
+// none (only 1-in-N items carry stamps).
+func (h *Handle) LastDequeueTraces() []ItemTrace {
+	hits := h.h.DequeueTraces()
+	if len(hits) == 0 {
+		return nil
+	}
+	out := make([]ItemTrace, len(hits))
+	for i, t := range hits {
+		out[i] = ItemTrace{
+			ID:         t.ID,
+			EnqueuedAt: time.Unix(0, t.EnqUnixNs),
+			Sojourn:    time.Duration(t.SojournNs),
+			Pos:        t.Pos,
+		}
+	}
+	return out
+}
+
+// EnqueueBatchTraced appends the values of vs with an item trace of identity
+// id forced onto the operation: the first accepted value carries the stamp
+// (one trace per operation, as with sampling). Returns as EnqueueBatch; if
+// no value was accepted the arm is cleared rather than left pending on the
+// pooled handle.
+func (q *Queue) EnqueueBatchTraced(vs []uint64, id uint64) (n int, err error) {
+	h := q.pool.Get().(*Handle)
+	h.h.ForceTrace(id)
+	n, err = h.EnqueueBatch(vs)
+	h.h.ClearTrace()
+	q.pool.Put(h)
+	return n, err
+}
+
+// EnqueueWaitTraced blocks until the queue accepts v (as EnqueueWait), with
+// an item trace of identity id forced onto the eventual deposit. On error
+// nothing was enqueued and no stamp was deposited.
+func (q *Queue) EnqueueWaitTraced(ctx context.Context, v uint64, id uint64) error {
+	h := q.pool.Get().(*Handle)
+	h.h.ForceTrace(id)
+	err := h.EnqueueWait(ctx, v)
+	h.h.ClearTrace()
+	q.pool.Put(h)
+	return err
+}
+
+// DequeueBatchTraced removes up to len(out) values into out (as
+// DequeueBatch) and additionally returns the item traces among them —
+// stamped items the batch claimed, with Pos indexing into out. traces is
+// nil when the batch contained no stamped items, which is the common case.
+func (q *Queue) DequeueBatchTraced(out []uint64) (n int, traces []ItemTrace) {
+	h := q.pool.Get().(*Handle)
+	n = h.DequeueBatch(out)
+	traces = h.LastDequeueTraces()
+	q.pool.Put(h)
+	return n, traces
+}
+
+// DequeueWaitTraced blocks until a value is available (as DequeueWait) and
+// additionally returns the item's trace if it carried a stamp (len 0 or 1).
+func (q *Queue) DequeueWaitTraced(ctx context.Context) (v uint64, traces []ItemTrace, err error) {
+	h := q.pool.Get().(*Handle)
+	v, err = h.DequeueWait(ctx)
+	if err == nil {
+		traces = h.LastDequeueTraces()
+	}
+	q.pool.Put(h)
+	return v, traces, err
+}
+
+// RecentTraces returns the queue's bounded buffer of recently completed item
+// traces, oldest first. Empty unless the queue was built with WithTracing /
+// WithForcedTracingOnly. Reading is lock-free and best-effort: entries being
+// overwritten concurrently are skipped.
+func (q *Queue) RecentTraces() []TraceRecord {
+	if q.tel == nil {
+		return nil
+	}
+	recs := q.tel.Traces()
+	out := make([]TraceRecord, len(recs))
+	for i, r := range recs {
+		out[i] = TraceRecord{Seq: r.Seq, ID: r.ID, EnqueuedAt: r.EnqueuedAt, Sojourn: r.Sojourn}
+	}
+	return out
+}
+
+// FindTrace returns the most recent completed trace carrying id, if it is
+// still in the recent-traces buffer.
+func (q *Queue) FindTrace(id uint64) (TraceRecord, bool) {
+	if q.tel == nil {
+		return TraceRecord{}, false
+	}
+	r, ok := q.tel.FindTrace(id)
+	if !ok {
+		return TraceRecord{}, false
+	}
+	return TraceRecord{Seq: r.Seq, ID: r.ID, EnqueuedAt: r.EnqueuedAt, Sojourn: r.Sojourn}, true
+}
+
+// traceJSON is the wire shape of one trace in the TraceHandler response.
+type traceJSON struct {
+	Seq        uint64 `json:"seq"`
+	ID         string `json:"id"` // hex, as clients print trace IDs
+	EnqueuedAt string `json:"enqueued_at"`
+	SojournNs  int64  `json:"sojourn_ns"`
+}
+
+// sojournJSON summarizes the sojourn distribution in the TraceHandler
+// response.
+type sojournJSON struct {
+	Samples uint64 `json:"samples"`
+	MeanNs  int64  `json:"mean_ns"`
+	P50Ns   int64  `json:"p50_ns"`
+	P99Ns   int64  `json:"p99_ns"`
+	P999Ns  int64  `json:"p999_ns"`
+	MaxNs   int64  `json:"max_ns"`
+}
+
+// TraceHandler returns an http.Handler serving the queue's item-trace state
+// as JSON: the sampling stride, the sojourn distribution summary, and the
+// recent completed traces (oldest first). A request with ?id=<trace id>
+// (decimal or 0x-hex) instead returns just that trace, with status 404 when
+// it is not (or no longer) in the buffer — the lookup a client performs
+// after reading a trace ID off a dequeue response.
+//
+//	http.Handle("/traces", q.TraceHandler())
+func (q *Queue) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 0, 64)
+			if err != nil {
+				http.Error(w, `{"error":"bad trace id"}`, http.StatusBadRequest)
+				return
+			}
+			tr, ok := q.FindTrace(id)
+			if !ok {
+				http.Error(w, `{"error":"trace not found"}`, http.StatusNotFound)
+				return
+			}
+			_ = json.NewEncoder(w).Encode(traceToJSON(tr))
+			return
+		}
+		m := q.Metrics()
+		recs := q.RecentTraces()
+		resp := struct {
+			TraceSampleN int         `json:"trace_sample_n"`
+			Sojourn      sojournJSON `json:"sojourn"`
+			Traces       []traceJSON `json:"traces"`
+		}{
+			TraceSampleN: m.TraceSampleN,
+			Sojourn: sojournJSON{
+				Samples: m.Sojourn.Samples,
+				MeanNs:  m.Sojourn.Mean.Nanoseconds(),
+				P50Ns:   m.Sojourn.P50.Nanoseconds(),
+				P99Ns:   m.Sojourn.P99.Nanoseconds(),
+				P999Ns:  m.Sojourn.P999.Nanoseconds(),
+				MaxNs:   m.Sojourn.Max.Nanoseconds(),
+			},
+			Traces: make([]traceJSON, len(recs)),
+		}
+		for i, tr := range recs {
+			resp.Traces[i] = traceToJSON(tr)
+		}
+		_ = json.NewEncoder(w).Encode(resp)
+	})
+}
+
+func traceToJSON(tr TraceRecord) traceJSON {
+	return traceJSON{
+		Seq:        tr.Seq,
+		ID:         "0x" + strconv.FormatUint(tr.ID, 16),
+		EnqueuedAt: tr.EnqueuedAt.UTC().Format(time.RFC3339Nano),
+		SojournNs:  tr.Sojourn.Nanoseconds(),
+	}
+}

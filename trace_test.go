@@ -1,0 +1,314 @@
+package lcrq
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracingRoundTrip(t *testing.T) {
+	q := New(WithTracing(4))
+	h := q.NewHandle()
+	defer h.Release()
+
+	if m := q.Metrics(); m.TraceSampleN != 4 {
+		t.Fatalf("TraceSampleN = %d, want 4", m.TraceSampleN)
+	}
+
+	id, ok := h.EnqueueTraced(99)
+	if !ok || id == 0 {
+		t.Fatalf("EnqueueTraced = %#x, %v", id, ok)
+	}
+	if got, ok := h.LastEnqueueTrace(); !ok || got != id {
+		t.Fatalf("LastEnqueueTrace = %#x, %v; want %#x", got, ok, id)
+	}
+	v, ok := h.Dequeue()
+	if !ok || v != 99 {
+		t.Fatalf("Dequeue = %d, %v", v, ok)
+	}
+	traces := h.LastDequeueTraces()
+	if len(traces) != 1 || traces[0].ID != id {
+		t.Fatalf("LastDequeueTraces = %+v, want one hit with ID %#x", traces, id)
+	}
+	if traces[0].Sojourn < 0 || traces[0].Pos != 0 {
+		t.Fatalf("trace = %+v", traces[0])
+	}
+
+	// The completed trace must be retained queue-side and feed the sojourn
+	// histogram.
+	if tr, ok := q.FindTrace(id); !ok || tr.ID != id {
+		t.Fatalf("FindTrace(%#x) = %+v, %v", id, tr, ok)
+	}
+	recent := q.RecentTraces()
+	if len(recent) != 1 || recent[0].ID != id {
+		t.Fatalf("RecentTraces = %+v", recent)
+	}
+	m := q.Metrics()
+	if m.Sojourn.Samples != 1 {
+		t.Fatalf("Sojourn.Samples = %d, want 1", m.Sojourn.Samples)
+	}
+	if m.Stats.TraceArms == 0 || m.Stats.TraceHits == 0 {
+		// The pooled-handle counters publish lazily; flush via a release.
+		t.Logf("note: counters unpublished in snapshot (arms=%d hits=%d)", m.Stats.TraceArms, m.Stats.TraceHits)
+	}
+}
+
+func TestTracingSampledStride(t *testing.T) {
+	q := New(WithTracing(8))
+	h := q.NewHandle()
+
+	const ops = 400
+	for i := 0; i < ops; i++ {
+		if !h.Enqueue(uint64(i)) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	hits := 0
+	for i := 0; i < ops; i++ {
+		if _, ok := h.Dequeue(); !ok {
+			t.Fatal("unexpected empty")
+		}
+		hits += len(h.LastDequeueTraces())
+	}
+	h.Release() // fold counters into retired totals
+	if hits < ops/8-1 || hits > ops/8 {
+		t.Fatalf("sampled hits = %d, want ~%d", hits, ops/8)
+	}
+	m := q.Metrics()
+	if m.Stats.TraceHits != uint64(hits) || m.Stats.TraceArms != uint64(hits) {
+		t.Fatalf("counters: arms=%d hits=%d, want %d", m.Stats.TraceArms, m.Stats.TraceHits, hits)
+	}
+	if m.Sojourn.Samples != uint64(hits) {
+		t.Fatalf("Sojourn.Samples = %d, want %d", m.Sojourn.Samples, hits)
+	}
+}
+
+func TestPooledTracedVariants(t *testing.T) {
+	q := New(WithForcedTracingOnly())
+
+	// Batch enqueue with a forced identity; the first value carries it.
+	id := NewTraceID()
+	if n, err := q.EnqueueBatchTraced([]uint64{1, 2, 3}, id); n != 3 || err != nil {
+		t.Fatalf("EnqueueBatchTraced = %d, %v", n, err)
+	}
+	out := make([]uint64, 3)
+	n, traces := q.DequeueBatchTraced(out)
+	if n != 3 {
+		t.Fatalf("DequeueBatchTraced = %d, want 3", n)
+	}
+	if len(traces) != 1 || traces[0].ID != id || traces[0].Pos != 0 {
+		t.Fatalf("traces = %+v, want ID %#x at Pos 0", traces, id)
+	}
+
+	// Wait variants.
+	id2 := NewTraceID()
+	if err := q.EnqueueWaitTraced(nil, 42, id2); err != nil {
+		t.Fatalf("EnqueueWaitTraced: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	v, traces, err := q.DequeueWaitTraced(ctx)
+	if err != nil || v != 42 {
+		t.Fatalf("DequeueWaitTraced = %d, %v", v, err)
+	}
+	if len(traces) != 1 || traces[0].ID != id2 {
+		t.Fatalf("wait traces = %+v, want ID %#x", traces, id2)
+	}
+}
+
+func TestTypedTracing(t *testing.T) {
+	q := NewTyped[string](WithForcedTracingOnly())
+	h := q.NewHandle()
+	defer h.Release()
+
+	id, ok := h.EnqueueTraced("hello")
+	if !ok {
+		t.Fatal("EnqueueTraced failed")
+	}
+	v, ok := h.Dequeue()
+	if !ok || v != "hello" {
+		t.Fatalf("Dequeue = %q, %v", v, ok)
+	}
+	traces := h.LastDequeueTraces()
+	if len(traces) != 1 || traces[0].ID != id {
+		t.Fatalf("typed traces = %+v, want ID %#x", traces, id)
+	}
+	if _, ok := q.FindTrace(id); !ok {
+		t.Fatal("typed FindTrace missed the completed trace")
+	}
+	if rec := httptest.NewRecorder(); true {
+		q.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
+		if rec.Code != 200 {
+			t.Fatalf("typed TraceHandler status %d", rec.Code)
+		}
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	q := New(WithForcedTracingOnly())
+	h := q.NewHandle()
+	defer h.Release()
+
+	h.ForceTrace(0xabc)
+	h.Enqueue(7)
+	h.Dequeue()
+
+	rec := httptest.NewRecorder()
+	q.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp struct {
+		TraceSampleN int `json:"trace_sample_n"`
+		Sojourn      struct {
+			Samples uint64 `json:"samples"`
+		} `json:"sojourn"`
+		Traces []struct {
+			ID        string `json:"id"`
+			SojournNs int64  `json:"sojourn_ns"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if resp.TraceSampleN != -1 {
+		t.Errorf("trace_sample_n = %d, want -1", resp.TraceSampleN)
+	}
+	if resp.Sojourn.Samples != 1 || len(resp.Traces) != 1 || resp.Traces[0].ID != "0xabc" {
+		t.Fatalf("response = %+v", resp)
+	}
+
+	// Point lookup, hex and decimal; then a miss and a parse error.
+	for _, idArg := range []string{"0xabc", "2748"} {
+		rec = httptest.NewRecorder()
+		q.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/traces?id="+idArg, nil))
+		if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"0xabc"`) {
+			t.Fatalf("lookup %s: status %d body %s", idArg, rec.Code, rec.Body.String())
+		}
+	}
+	rec = httptest.NewRecorder()
+	q.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/traces?id=999", nil))
+	if rec.Code != 404 {
+		t.Fatalf("missing trace: status %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	q.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/traces?id=zebra", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad id: status %d", rec.Code)
+	}
+}
+
+func TestPrometheusTraceSeries(t *testing.T) {
+	q := New(WithTracing(2))
+	h := q.NewHandle()
+	for i := 0; i < 64; i++ {
+		h.Enqueue(uint64(i))
+		h.Dequeue()
+	}
+	h.Release()
+
+	var sb strings.Builder
+	WritePrometheus(&sb, q.Metrics())
+	body := sb.String()
+	for _, want := range []string{
+		"lcrq_trace_sample_stride 2",
+		"lcrq_trace_arms_total",
+		"lcrq_trace_hits_total",
+		`lcrq_sojourn_seconds{quantile="0.99"}`,
+		"lcrq_sojourn_seconds_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("Prometheus export missing %q", want)
+		}
+	}
+}
+
+// TestTracingOffOverhead guards the "dead branch only" claim for queues
+// built without tracing: telemetry-on operations on an untraced queue must
+// not be measurably slower than before tracing existed (approximated by
+// comparing against the same queue's raw core path, the identical structure
+// used by TestTelemetryOffOverhead). Benchmark-based and thus noisy, so it
+// runs only when LCRQ_TRACE_BENCH=1 (the telemetry CI job sets it).
+func TestTracingOffOverhead(t *testing.T) {
+	if os.Getenv("LCRQ_TRACE_BENCH") == "" {
+		t.Skip("set LCRQ_TRACE_BENCH=1 to run the tracing overhead smoke check")
+	}
+	q := New(WithRingSize(1 << 12))
+	h := q.NewHandle()
+	defer h.Release()
+
+	direct := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.q.Enqueue(h.h, uint64(i)|1<<62)
+			q.q.Dequeue(h.h)
+		}
+	}
+	wrapped := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h.Enqueue(uint64(i) | 1<<62)
+			h.Dequeue()
+		}
+	}
+	d, w := bestNs(direct), bestNs(wrapped)
+	t.Logf("direct %.1f ns/op, wrapped (tracing off) %.1f ns/op (%+.1f%%)", d, w, (w/d-1)*100)
+	if w > d*1.25 {
+		t.Fatalf("tracing-off wrapper overhead too high: direct %.1f ns/op vs wrapped %.1f ns/op", d, w)
+	}
+}
+
+// TestTracingSampledOverhead pins the cost of 1-in-1024 item tracing against
+// the same queue configuration with tracing off: the sampled stamp path
+// (countdown decrement per enqueue, tag check per dequeue, a clock read
+// 1-in-1024 ops) must stay within 2% — the budget ISSUE.md assigns the
+// default stride. Env-gated like TestTracingOffOverhead.
+func TestTracingSampledOverhead(t *testing.T) {
+	if os.Getenv("LCRQ_TRACE_BENCH") == "" {
+		t.Skip("set LCRQ_TRACE_BENCH=1 to run the tracing overhead smoke check")
+	}
+	loop := func(q *Queue) func(*testing.B) {
+		h := q.NewHandle()
+		t.Cleanup(h.Release)
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h.Enqueue(uint64(i) | 1<<62)
+				h.Dequeue()
+			}
+		}
+	}
+	offLoop := loop(New(WithTelemetry(), WithRingSize(1<<12)))
+	onLoop := loop(New(WithTracing(1024), WithRingSize(1<<12)))
+	// Interleave the rounds: measuring all-off then all-on lets machine-state
+	// drift between the two blocks alias into the ratio; alternating exposes
+	// both configurations to the same conditions, and best-of filters the
+	// scheduler noise within each.
+	off, on := 1e18, 1e18
+	for i := 0; i < 7; i++ {
+		if v := float64(testing.Benchmark(offLoop).NsPerOp()); v < off {
+			off = v
+		}
+		if v := float64(testing.Benchmark(onLoop).NsPerOp()); v < on {
+			on = v
+		}
+	}
+	t.Logf("tracing off %.1f ns/op, sampled 1-in-1024 %.1f ns/op (%+.1f%%)", off, on, (on/off-1)*100)
+	if on > off*1.02 {
+		t.Fatalf("sampled tracing overhead above 2%%: off %.1f ns/op vs on %.1f ns/op", off, on)
+	}
+}
+
+// bestNs returns the fastest of seven benchmark runs — the best-of filter
+// the overhead guards use to suppress scheduler noise.
+func bestNs(f func(*testing.B)) float64 {
+	ns := 1e18
+	for i := 0; i < 7; i++ {
+		r := testing.Benchmark(f)
+		if v := float64(r.NsPerOp()); v < ns {
+			ns = v
+		}
+	}
+	return ns
+}

@@ -325,3 +325,44 @@ func (t *Typed[T]) DequeueBatch(out []T) int {
 // Health returns the watchdog verdict of the underlying index queue; see
 // Queue.Health.
 func (t *Typed[T]) Health() Health { return t.main.Health() }
+
+// ForceTrace arms an item trace with the given identity on this handle's
+// next enqueue; see Handle.ForceTrace. The trace follows the value's slot
+// index through the underlying queue, so sojourn measures the typed value's
+// residency exactly. The private free-list queue is never traced.
+func (h *TypedHandle[T]) ForceTrace(id uint64) { h.main.ForceTrace(id) }
+
+// ClearTrace cancels a pending armed trace; see Handle.ClearTrace.
+func (h *TypedHandle[T]) ClearTrace() { h.main.ClearTrace() }
+
+// LastEnqueueTrace reports the trace stamped by this handle's most recent
+// successful enqueue; see Handle.LastEnqueueTrace.
+func (h *TypedHandle[T]) LastEnqueueTrace() (id uint64, ok bool) {
+	return h.main.LastEnqueueTrace()
+}
+
+// EnqueueTraced appends v with a forced item trace and returns the identity
+// it stamped; see Handle.EnqueueTraced.
+func (h *TypedHandle[T]) EnqueueTraced(v T) (id uint64, ok bool) {
+	id = NewTraceID()
+	h.main.ForceTrace(id)
+	return id, h.Enqueue(v)
+}
+
+// LastDequeueTraces returns the item traces observed by this handle's most
+// recent dequeue operation; see Handle.LastDequeueTraces.
+func (h *TypedHandle[T]) LastDequeueTraces() []ItemTrace {
+	return h.main.LastDequeueTraces()
+}
+
+// RecentTraces returns the recent completed item traces of the underlying
+// index queue; see Queue.RecentTraces.
+func (t *Typed[T]) RecentTraces() []TraceRecord { return t.main.RecentTraces() }
+
+// FindTrace returns the most recent completed trace carrying id; see
+// Queue.FindTrace.
+func (t *Typed[T]) FindTrace(id uint64) (TraceRecord, bool) { return t.main.FindTrace(id) }
+
+// TraceHandler serves the underlying index queue's item-trace state as
+// JSON; see Queue.TraceHandler.
+func (t *Typed[T]) TraceHandler() http.Handler { return t.main.TraceHandler() }
