@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race purego chaos soak fuzz bench batchbench examples reproduce check clean lint crossarch e2e e2e-baseline
+.PHONY: all build vet test race purego chaos soak fuzz bench batchbench oversubbench examples reproduce check clean lint crossarch e2e e2e-baseline
 
 all: check
 
@@ -65,6 +65,12 @@ bench:
 # EnqueueBatch/DequeueBatch block sizes 1..64, with a JSON sidecar.
 batchbench:
 	$(GO) run ./cmd/qbench -batch 64 -metrics BENCH_batch.json
+
+# Oversubscription study: fixed spin constants vs the adaptive contention
+# controller at 1x/2x/4x/8x GOMAXPROCS, interleaved paired runs, with a
+# JSON sidecar (the committed baseline is BENCH_contention.json).
+oversubbench:
+	$(GO) run ./cmd/qbench -oversub 8 -pairs 50000 -runs 24 -metrics BENCH_contention.json
 
 # End-to-end queue-as-a-service check: build qserve and qload, run the
 # sweep with all three fault scenarios (killed connections, slow-consumer

@@ -1,0 +1,102 @@
+//go:build chaos
+
+package lcrq
+
+import (
+	"testing"
+	"time"
+
+	"lcrq/internal/chaos"
+)
+
+// TestAdaptiveDampsTantrumStorm is the remediation acceptance test: under a
+// sustained tantrum storm, raising the contention boost must make the
+// ring-churn rate fall — the widened starvation thresholds let enqueuers
+// ride out failed attempts instead of closing ring after ring.
+//
+// The storm is synthesized with EnqCAS2Fail: at a 0.9 per-attempt failure
+// rate an enqueuer's tries counter regularly reaches the (small) starvation
+// limit organically, so tantrum frequency is a real function of the
+// effective limit — exactly the dependency the boost exploits. Phase A pins
+// the boost at zero (chaos adapt-decay forced), phase B pins it at the cap
+// (chaos adapt-raise forced, so clean watchdog ticks cannot decay it while
+// we measure), and the tantrum-close rate per operation must drop by well
+// over half across the EvContentionAdapt transition.
+func TestAdaptiveDampsTantrumStorm(t *testing.T) {
+	chaos.Reset()
+	defer chaos.Reset()
+
+	q := New(
+		WithTelemetry(),
+		WithStarvationLimit(4),
+		WithAdaptiveContention(),
+		// A tiny spin ceiling keeps the un-boosted effective limit
+		// (base + spins) small enough for the storm to establish itself.
+		WithAdaptiveSpinBounds(2, 8, 1),
+		WithWatchdog(2*time.Millisecond),
+	)
+	defer q.Close()
+	h := q.NewHandle()
+	defer h.Release()
+
+	tantrums := func() uint64 { return q.Metrics().RingEvents["ring-tantrum"] }
+	appends := func() uint64 { return q.Metrics().RingEvents["ring-append"] }
+	const ops = 3000
+	run := func() {
+		for i := 0; i < ops; i++ {
+			if !h.Enqueue(uint64(i) | 1<<32) {
+				t.Fatal("enqueue failed on an unbounded queue")
+			}
+			if _, ok := h.Dequeue(); !ok {
+				t.Fatal("dequeue found nothing after an enqueue")
+			}
+		}
+	}
+
+	// Phase A: storm with the boost pinned at zero.
+	chaos.Set(chaos.EnqCAS2Fail, 0.9)
+	chaos.Set(chaos.AdaptDecay, 1)
+	t0, a0 := tantrums(), appends()
+	run()
+	stormTantrums, stormAppends := tantrums()-t0, appends()-a0
+	if stormTantrums == 0 {
+		t.Fatal("no tantrum closes in the un-boosted phase — storm never established")
+	}
+
+	// Phase B: force the raise remediation and hold the boost at its cap.
+	chaos.Set(chaos.AdaptDecay, 0)
+	chaos.Set(chaos.AdaptRaise, 1)
+	deadline := time.Now().Add(10 * time.Second)
+	for q.Metrics().Contention.Boost < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog never raised the boost to cap; contention = %+v", q.Metrics().Contention)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	adaptSeen := false
+	for _, ev := range q.Events() {
+		if ev.Kind == "contention-adapt" {
+			adaptSeen = true
+		}
+	}
+	if !adaptSeen {
+		t.Fatal("boost raised but no contention-adapt event in the trace")
+	}
+
+	t0, a0 = tantrums(), appends()
+	run()
+	dampedTantrums, dampedAppends := tantrums()-t0, appends()-a0
+
+	t.Logf("tantrum closes per %d ops: %d un-boosted → %d boosted; ring appends %d → %d",
+		ops, stormTantrums, dampedTantrums, stormAppends, dampedAppends)
+	if dampedTantrums*2 >= stormTantrums {
+		t.Fatalf("boost did not damp the storm: %d tantrum closes before, %d after", stormTantrums, dampedTantrums)
+	}
+	// Every tantrum close forces a ring append, so churn must fall with it.
+	if dampedAppends >= stormAppends {
+		t.Fatalf("ring-alloc rate did not fall: %d appends before, %d after", stormAppends, dampedAppends)
+	}
+	if m := q.Metrics(); m.Contention.Raises < 3 {
+		t.Fatalf("boost at cap but raises under-counted: %+v", m.Contention)
+	}
+}

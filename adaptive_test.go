@@ -1,0 +1,227 @@
+package lcrq
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWithAdaptiveContentionOption: the option must arm the controller and
+// surface that through Metrics(), and each of the tuning options must imply
+// it — asking for adaptive spin bounds or a boost cap on a queue that then
+// ran fixed would be a silent misconfiguration.
+func TestWithAdaptiveContentionOption(t *testing.T) {
+	q := New()
+	defer q.Close()
+	if m := q.Metrics(); m.Contention.Enabled || m.Contention.Boost != 0 {
+		t.Fatalf("default queue reports contention controller: %+v", m.Contention)
+	}
+	if q.q.Adaptive() {
+		t.Fatal("default queue core reports adaptive")
+	}
+
+	qa := New(WithAdaptiveContention())
+	defer qa.Close()
+	if m := qa.Metrics(); !m.Contention.Enabled {
+		t.Fatalf("WithAdaptiveContention queue reports disabled: %+v", m.Contention)
+	}
+
+	qb := New(WithAdaptiveSpinBounds(8, 128, 4))
+	defer qb.Close()
+	if !qb.Metrics().Contention.Enabled {
+		t.Fatal("WithAdaptiveSpinBounds did not imply WithAdaptiveContention")
+	}
+
+	// A negative boost cap keeps per-handle adaptation but disables the
+	// watchdog's remediation lever entirely.
+	qc := New(WithAdaptiveBoostMax(-1))
+	defer qc.Close()
+	if !qc.Metrics().Contention.Enabled {
+		t.Fatal("WithAdaptiveBoostMax did not imply WithAdaptiveContention")
+	}
+	if _, changed := qc.q.RaiseContention(); changed {
+		t.Fatal("RaiseContention moved the boost despite a negative cap")
+	}
+	if m := qc.Metrics(); m.Contention.Boost != 0 || m.Contention.Raises != 0 {
+		t.Fatalf("negative-cap queue accumulated boost state: %+v", m.Contention)
+	}
+}
+
+// TestWaitJitterDispersion is the herd-dispersion regression test: the
+// jittered wait backoff must spread a nominal delay uniformly over
+// [d/2, 3d/2] — mean-preserving, bounded, and actually dispersed (a
+// constant or near-constant jitter would resynchronize waiter herds, which
+// is the bug this guards against). Jitter is deliberately independent of
+// WithAdaptiveContention, so this runs on a default fixed-constant queue.
+func TestWaitJitterDispersion(t *testing.T) {
+	q := New()
+	defer q.Close()
+	h := q.NewHandle()
+	defer h.Release()
+
+	const d = time.Millisecond
+	const n = 4096
+	var sum time.Duration
+	distinct := make(map[time.Duration]struct{})
+	for i := 0; i < n; i++ {
+		j := h.h.Ctl.Jitter(d)
+		if j < d/2 || j > d+d/2 {
+			t.Fatalf("Jitter(%v) = %v, outside [%v, %v]", d, j, d/2, d+d/2)
+		}
+		sum += j
+		distinct[j] = struct{}{}
+	}
+	mean := sum / n
+	if mean < d*9/10 || mean > d*11/10 {
+		t.Fatalf("jitter mean %v drifted from nominal %v", mean, d)
+	}
+	// A millisecond span has ~1e6 representable outcomes; thousands of draws
+	// collapsing to a handful of values would mean the RNG stream is broken.
+	if len(distinct) < n/2 {
+		t.Fatalf("only %d distinct jitter values in %d draws", len(distinct), n)
+	}
+
+	// Two handles must draw from uncorrelated streams — lockstep streams
+	// would jitter every waiter identically and the herd would survive.
+	h2 := q.NewHandle()
+	defer h2.Release()
+	same := 0
+	const pairs = 64
+	for i := 0; i < pairs; i++ {
+		if h.h.Ctl.Jitter(d) == h2.h.Ctl.Jitter(d) {
+			same++
+		}
+	}
+	if same == pairs {
+		t.Fatal("two handles produced identical jitter streams")
+	}
+
+	// Zero and negative delays pass through untouched (no spinning a timer
+	// on a degenerate configuration).
+	if j := h.h.Ctl.Jitter(0); j != 0 {
+		t.Fatalf("Jitter(0) = %v, want 0", j)
+	}
+}
+
+// TestWatchdogDecaysContentionBoost exercises the decay half of watchdog
+// remediation end to end through the public surface: a raised boost on a
+// healthy queue must be walked back one step per clean tick, each step
+// announced as a contention-adapt event, until the starvation thresholds
+// are back to their configured values. (The raise half needs a tantrum
+// storm, which takes fault injection — see the chaos-tagged campaigns.)
+func TestWatchdogDecaysContentionBoost(t *testing.T) {
+	q := New(WithAdaptiveContention(), WithTelemetry(), WithWatchdog(2*time.Millisecond))
+	defer q.Close()
+
+	if _, changed := q.q.RaiseContention(); !changed {
+		t.Fatal("RaiseContention reported no change on a fresh queue")
+	}
+	q.q.RaiseContention()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for q.Metrics().Contention.Boost != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("watchdog never decayed the boost; contention = %+v", q.Metrics().Contention)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m := q.Metrics()
+	if m.Contention.Raises < 2 || m.Contention.Decays < 2 {
+		t.Fatalf("boost movements not accounted: %+v", m.Contention)
+	}
+	if m.Stats.AdaptiveSpins != 0 {
+		t.Fatalf("idle queue burned %d adaptive spins", m.Stats.AdaptiveSpins)
+	}
+
+	adaptEvents := 0
+	for _, ev := range q.Events() {
+		if ev.Kind == "contention-adapt" {
+			adaptEvents++
+		}
+	}
+	if adaptEvents < 2 {
+		t.Fatalf("expected ≥2 contention-adapt events in the trace, got %d", adaptEvents)
+	}
+
+	// The Prometheus surface must carry the controller series.
+	var b strings.Builder
+	WritePrometheus(&b, m)
+	for _, series := range []string{
+		"lcrq_adaptive 1",
+		"lcrq_contention_boost 0",
+		"lcrq_contention_raises_total 2",
+		"lcrq_contention_decays_total 2",
+		"lcrq_adapt_raises_total",
+		"lcrq_adapt_spins_total",
+	} {
+		if !strings.Contains(b.String(), series) {
+			t.Fatalf("Prometheus output missing %q", series)
+		}
+	}
+}
+
+// TestAdaptiveOffOverhead guards the fixed-constant fast path: the
+// controller branches added to the hot loops must be unobservable when
+// WithAdaptiveContention is absent, and arming the controller on an
+// uncontended queue must stay within noise of the fixed path (its whole
+// point is to cost nothing until failures happen). Same guard style and
+// opt-in as TestGovernanceOffOverhead — timing checks are too flaky for
+// CI's shared runners, so gate on LCRQ_ADAPTIVE_BENCH=1.
+func TestAdaptiveOffOverhead(t *testing.T) {
+	if os.Getenv("LCRQ_ADAPTIVE_BENCH") == "" {
+		t.Skip("set LCRQ_ADAPTIVE_BENCH=1 to run the overhead smoke check")
+	}
+	fixed := New(WithRingSize(1 << 12))
+	defer fixed.Close()
+	adaptive := New(WithRingSize(1<<12), WithAdaptiveContention())
+	defer adaptive.Close()
+	fh := fixed.NewHandle()
+	defer fh.Release()
+	ah := adaptive.NewHandle()
+	defer ah.Release()
+
+	direct := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fixed.q.Enqueue(fh.h, uint64(i)|1<<62)
+			fixed.q.Dequeue(fh.h)
+		}
+	}
+	wrappedOff := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fh.Enqueue(uint64(i) | 1<<62)
+			fh.Dequeue()
+		}
+	}
+	wrappedOn := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ah.Enqueue(uint64(i) | 1<<62)
+			ah.Dequeue()
+		}
+	}
+	best := func(f func(*testing.B)) float64 {
+		ns := 1e18
+		for i := 0; i < 5; i++ {
+			r := testing.Benchmark(f)
+			if v := float64(r.NsPerOp()); v < ns {
+				ns = v
+			}
+		}
+		return ns
+	}
+	d, off, on := best(direct), best(wrappedOff), best(wrappedOn)
+	t.Logf("direct %.1f ns/op, fixed wrapper %.1f ns/op (%+.1f%%), adaptive uncontended %.1f ns/op (%+.1f%% vs fixed)",
+		d, off, (off/d-1)*100, on, (on/off-1)*100)
+	if off > d*1.25 {
+		t.Fatalf("fixed-path wrapper overhead too high: direct %.1f ns/op vs wrapped %.1f ns/op", d, off)
+	}
+	if on > off*1.25 {
+		t.Fatalf("uncontended adaptive overhead too high: fixed %.1f ns/op vs adaptive %.1f ns/op", off, on)
+	}
+	// An uncontended run must leave the controller idle: decays fire per
+	// completed op only after failures raised the level.
+	if s := adaptive.Metrics().Stats; s.AdaptiveRaises != 0 || s.AdaptiveSpins != 0 {
+		t.Fatalf("uncontended adaptive queue shows controller activity: raises=%d spins=%d",
+			s.AdaptiveRaises, s.AdaptiveSpins)
+	}
+}

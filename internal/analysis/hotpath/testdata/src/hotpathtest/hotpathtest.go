@@ -130,6 +130,67 @@ func (q *traced) recordHitLit(id uint64, ns int64, pos int) {
 	q.hits = [8]hit{}                         // want `composite literal \(allocation\)`
 }
 
+// Adaptive contention controller: the MIAD fail/success steps run inside
+// the cell-retry loops, so they must stay pure arithmetic on handle-local
+// fields — no allocation, no bookkeeping containers.
+
+type ctl struct {
+	spins, min, max, decay uint64
+	history                []uint64
+	byCause                map[string]uint64
+}
+
+// fail is the correct MIAD raise shape: double and clamp, nothing else.
+//
+//lcrq:hotpath
+func (c *ctl) fail() {
+	if c.spins == 0 {
+		c.spins = c.min
+	} else {
+		c.spins *= 2
+	}
+	if c.spins > c.max {
+		c.spins = c.max
+	}
+}
+
+// success is the additive-decay counterpart; also clean.
+//
+//lcrq:hotpath
+func (c *ctl) success() {
+	if c.spins <= c.decay {
+		c.spins = 0
+		return
+	}
+	c.spins -= c.decay
+}
+
+// pause is deliberately NOT annotated: chunked backoff yields the
+// processor, which is why the real contention.Pause carries no hotpath
+// annotation and hot callers reach it through a plain call.
+func (c *ctl) pause() {
+	runtime.Gosched()
+}
+
+// backoff shows the hot retry path composing the clean raise step with the
+// unannotated pause helper — no diagnostics.
+//
+//lcrq:hotpath
+func (c *ctl) backoff() {
+	c.fail()
+	c.pause()
+}
+
+// failLogged is the tempting-but-wrong shape: tracking raise history on
+// the retry path means allocation and map traffic per failed attempt.
+//
+//lcrq:hotpath
+func (c *ctl) failLogged(cause string) {
+	c.spins *= 2
+	c.history = append(c.history, c.spins) // want `append \(allocation\)`
+	c.byCause[cause] = c.spins             // want `map write`
+}
+
 // drain is NOT annotated: the same operations draw no diagnostics here.
 func (q *queue) drain() {
 	q.mu.Lock()

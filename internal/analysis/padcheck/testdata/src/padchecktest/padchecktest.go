@@ -84,6 +84,31 @@ type stampSlotPadded struct {
 	ns  atomic.Int64  //lcrq:cold
 }
 
+// adaptBoost mirrors the adaptive contention controller's queue-wide state:
+// the boost shift is loaded by every enqueue retry iteration (StarveLimit),
+// while the raise/decay tallies are touched only by the watchdog's
+// remediation tick and Metrics() — cold writers may not drag their line
+// into the retry path's working set.
+//
+//lcrq:padded
+type adaptBoost struct {
+	boost  atomic.Uint64
+	raises atomic.Uint64 // want `adaptBoost\.raises shares a 64-byte cache line with boost`
+	decays atomic.Uint64 // want `adaptBoost\.decays shares a 64-byte cache line with boost` `adaptBoost\.decays shares a 64-byte cache line with raises`
+}
+
+// adaptBoostPadded is the required layout (the shape of the real
+// contention.Shared): the hot boost word on a private line, the cold
+// tallies together behind it.
+//
+//lcrq:padded
+type adaptBoostPadded struct {
+	boost  atomic.Uint64
+	_      pad.Pad
+	raises atomic.Uint64 //lcrq:cold
+	decays atomic.Uint64 //lcrq:cold
+}
+
 // notAStruct cannot carry the annotation at all.
 //
 //lcrq:padded

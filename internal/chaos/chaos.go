@@ -90,6 +90,14 @@ const (
 	// the per-cell protocol runs, widening the race against enqueuers still
 	// depositing and against ring retirement.
 	BatchDeqReserve
+	// AdaptRaise forces the watchdog's adaptive-contention remediation to
+	// raise the shared starvation boost on its next tick, regardless of the
+	// health verdict — the hook chaos campaigns use to drive the controller
+	// through its widened-threshold regime on demand.
+	AdaptRaise
+	// AdaptDecay forces the remediation to decay the boost on its next tick,
+	// exercising the recovery half of the controller's state machine.
+	AdaptDecay
 
 	// NumPoints is the number of injection points; it is not itself a
 	// point.
@@ -112,6 +120,8 @@ var pointNames = [NumPoints]string{
 
 	BatchEnqReserve: "batch-enq-reserve",
 	BatchDeqReserve: "batch-deq-reserve",
+	AdaptRaise:      "adapt-raise",
+	AdaptDecay:      "adapt-decay",
 }
 
 // String returns the point's stable name, as used in docs and test output.

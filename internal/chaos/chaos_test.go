@@ -21,6 +21,8 @@ func TestPointNames(t *testing.T) {
 
 		BatchEnqReserve: "batch-enq-reserve",
 		BatchDeqReserve: "batch-deq-reserve",
+		AdaptRaise:      "adapt-raise",
+		AdaptDecay:      "adapt-decay",
 	}
 	if len(want) != int(NumPoints) {
 		t.Fatalf("test covers %d points, NumPoints = %d", len(want), NumPoints)

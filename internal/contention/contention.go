@@ -1,0 +1,354 @@
+// Package contention implements the adaptive contention controller behind
+// WithAdaptiveContention: self-tuning replacements for the queue's fixed
+// spin constants (SpinWait, StarvationLimit, the WithWaitBackoff bounds,
+// clusterGate's spin budget).
+//
+// The design follows Dice, Hendler, and Mirsky's lightweight contention
+// management for CAS: each thread reacts to its *own* observed failures with
+// multiplicative-increase/additive-decrease (MIAD) backoff, so the per-handle
+// state needs no synchronization at all — a failed cell attempt doubles the
+// backoff level, a completed operation subtracts a small constant. Under low
+// contention the level decays to zero and the controller is a handful of
+// predictable branches; under oversubscription the level grows until failed
+// CAS2 attempts stop burning the cache lines everyone else needs.
+//
+// Two pieces of state exist:
+//
+//   - Controller: per-handle, single-writer, embedded by value in the core
+//     Handle exactly like instrument.Counters — reading or writing it costs
+//     no atomics. Its fast-path methods are //lcrq:hotpath and allocation
+//     free (the lint fixtures in internal/analysis cover the shapes).
+//   - Shared: one per queue, written only by the watchdog's remediation
+//     hook. It carries the starvation-limit boost shift the tantrum-storm
+//     verdict raises, on a private cache line so the enqueue retry path can
+//     read it without false sharing.
+//
+// The controller also owns the wait-backoff jitter (Jitter), which is useful
+// even with adaptation disabled: synchronized waiter herds in EnqueueWait /
+// DequeueWait should not wake in lockstep regardless of tuning mode, so
+// every handle's controller is seeded with an uncorrelated RNG stream.
+package contention
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"lcrq/internal/pad"
+	"lcrq/internal/xrand"
+)
+
+// Tuning defaults (see core.Config's Adapt* knobs).
+const (
+	// DefaultSpinMin is the smallest nonzero backoff level: the first failed
+	// attempt jumps here so one isolated failure already spreads retries.
+	DefaultSpinMin = 32
+	// DefaultSpinMax caps the multiplicative growth. 4096 iterations is on
+	// the order of a scheduler quantum's worth of pause on modern cores —
+	// beyond that the thread should yield, which Pause does.
+	DefaultSpinMax = 4096
+	// DefaultDecay is the additive decrease applied per completed operation.
+	// Small relative to the multiplicative raise, so the level tracks the
+	// recent failure rate rather than the last outcome.
+	DefaultDecay = 8
+	// DefaultBoostMax caps the watchdog remediation's starvation-limit boost
+	// shift: limit << 3 widens the tantrum threshold 8x at full boost.
+	DefaultBoostMax = 3
+	// maxBoost bounds any configured boost shift so a widened starvation
+	// limit can never overflow the tries counter's useful range.
+	maxBoost = 16
+	// yieldSpins is the pause length at which busy-waiting stops being
+	// neighborly: under oversubscription (the regime that grows pauses this
+	// long) the stalled party needs our P more than we need to spin, so
+	// Pause converts each yieldSpins chunk into a runtime.Gosched.
+	yieldSpins = 2048
+)
+
+// seedCtr derives a distinct RNG seed per controller without consulting the
+// clock; Seed's SplitMix64 diffusion turns the consecutive values into
+// uncorrelated streams.
+var seedCtr atomic.Uint64
+
+// pauseSink keeps the compiler from discarding Pause's spin loop.
+var pauseSink atomic.Uint64
+
+// Controller is the per-handle adaptive state. It is embedded by value in
+// the core Handle and owned by the handle's goroutine: no method may be
+// called concurrently, and none uses atomics. The zero value is inert
+// (disabled, no RNG); call Init before use.
+type Controller struct {
+	enabled bool
+	spinMin uint32
+	spinMax uint32
+	decay   uint32
+
+	// spins is the MIAD backoff level: the expected pause, in spin
+	// iterations, after the next failed attempt.
+	spins uint32
+
+	// wait is the remembered wait-backoff level in nanoseconds, carried
+	// across EnqueueWait/DequeueWait calls so a handle that just waited
+	// through a full episode does not restart its next wait at the floor.
+	wait int64
+
+	rng    xrand.State
+	shared *Shared
+}
+
+// Init configures the controller. enabled arms adaptation; the RNG is
+// seeded regardless, so Jitter works on fixed-constant queues too. Non-
+// positive tuning values select the defaults, and an inverted min/max pair
+// is clamped (max raised to min) — mirroring core.Config.normalized, which
+// performs the same clamping before values reach here.
+func (c *Controller) Init(enabled bool, spinMin, spinMax, decay int, shared *Shared) {
+	if spinMin <= 0 {
+		spinMin = DefaultSpinMin
+	}
+	if spinMax <= 0 {
+		spinMax = DefaultSpinMax
+	}
+	if spinMax < spinMin {
+		spinMax = spinMin
+	}
+	if decay <= 0 {
+		decay = DefaultDecay
+	}
+	c.enabled = enabled
+	c.spinMin = uint32(spinMin)
+	c.spinMax = uint32(spinMax)
+	c.decay = uint32(decay)
+	c.spins = 0
+	c.wait = 0
+	c.shared = shared
+	c.rng.Seed(seedCtr.Add(1))
+}
+
+// Enabled reports whether adaptation is armed.
+func (c *Controller) Enabled() bool { return c.enabled }
+
+// Spins returns the current MIAD backoff level (0 when idle or disabled).
+func (c *Controller) Spins() uint32 { return c.spins }
+
+// Fail records a failed cell attempt: the backoff level is raised
+// multiplicatively (doubled, clamped to [spinMin, spinMax]) and a jittered
+// pause drawn from [level/2, level] is returned for the caller to burn via
+// Pause. raised reports whether the level actually moved, so callers can
+// count raises without re-deriving the clamp. Disabled controllers return
+// (0, false) and touch nothing.
+//
+//lcrq:hotpath
+func (c *Controller) Fail() (pause uint32, raised bool) {
+	if !c.enabled {
+		return 0, false
+	}
+	if c.spins < c.spinMax {
+		n := c.spins * 2
+		if n < c.spinMin {
+			n = c.spinMin
+		}
+		if n > c.spinMax {
+			n = c.spinMax
+		}
+		c.spins = n
+		raised = true
+	}
+	half := c.spins / 2
+	return half + uint32(c.rng.Uintn(uint64(half)+1)), raised
+}
+
+// Success records a completed operation: the backoff level decreases
+// additively by the decay step, flooring at zero. It reports whether the
+// level moved (false when already idle or disabled).
+//
+//lcrq:hotpath
+func (c *Controller) Success() bool {
+	if !c.enabled || c.spins == 0 {
+		return false
+	}
+	if c.spins <= c.decay {
+		c.spins = 0
+	} else {
+		c.spins -= c.decay
+	}
+	return true
+}
+
+// StarveLimit widens base — the configured StarvationLimit — by the
+// handle's measured contention (the current backoff level) and the
+// queue-wide remediation boost: (base + spins) << boost. Under a tantrum
+// storm this is what lets enqueuers tolerate more failed attempts instead
+// of closing ring after ring; an idle controller returns base unchanged.
+//
+//lcrq:hotpath
+func (c *Controller) StarveLimit(base int) int {
+	if !c.enabled {
+		return base
+	}
+	limit := base + int(c.spins)
+	if c.shared != nil {
+		limit <<= c.shared.Boost()
+	}
+	return limit
+}
+
+// Jitter spreads d uniformly over [d/2, 3d/2], preserving the mean. It is
+// independent of the enabled flag: herd dispersion is wanted on fixed-
+// constant queues too.
+//
+//lcrq:hotpath
+func (c *Controller) Jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(c.rng.Uintn(uint64(d)+1))
+}
+
+// WaitStart returns the first sleep for a wait loop: the configured floor
+// when disabled or cold, otherwise the remembered level clamped to
+// [min, max]. The remembered level is what keeps a producer that just sat
+// through a long full episode from hammering the queue at the floor cadence
+// the moment it re-enters EnqueueWait.
+func (c *Controller) WaitStart(min, max time.Duration) time.Duration {
+	if !c.enabled || c.wait == 0 {
+		return min
+	}
+	w := time.Duration(c.wait)
+	if w < min {
+		w = min
+	}
+	if w > max {
+		w = max
+	}
+	return w
+}
+
+// WaitGrow doubles cur, clamped to max — the multiplicative half of the
+// wait-level MIAD — and, when adaptation is armed, remembers the new level
+// for the next WaitStart.
+func (c *Controller) WaitGrow(cur, max time.Duration) time.Duration {
+	next := cur * 2
+	if next > max {
+		next = max
+	}
+	if c.enabled {
+		c.wait = int64(next)
+	}
+	return next
+}
+
+// WaitDone records a successful wait exit: the remembered level decreases
+// additively by min (the additive half of the MIAD), dropping to cold
+// (zero) once it reaches the floor.
+func (c *Controller) WaitDone(min time.Duration) {
+	if !c.enabled || c.wait == 0 {
+		return
+	}
+	w := time.Duration(c.wait) - min
+	if w <= min {
+		w = 0
+	}
+	c.wait = int64(w)
+}
+
+// WaitLevel returns the remembered wait-backoff level (0 when cold or
+// disabled). Telemetry and tests only.
+func (c *Controller) WaitLevel() time.Duration { return time.Duration(c.wait) }
+
+// Pause burns a backoff of n spin iterations. Long pauses — the
+// oversubscribed regime — are converted into scheduler yields chunk by
+// chunk, because a pause that long means some other thread holds the state
+// we are waiting on and it may well need our P to make progress. Pause is
+// deliberately NOT //lcrq:hotpath: yielding is its job, and the annotated
+// callers reach it as a plain call, exactly like any other slow-path helper.
+func Pause(n uint32) {
+	for n >= yieldSpins {
+		runtime.Gosched()
+		n -= yieldSpins
+	}
+	var acc uint64
+	for i := uint32(0); i < n; i++ {
+		acc += uint64(i)
+	}
+	pauseSink.Store(acc)
+}
+
+// Shared is the queue-wide remediation state: the starvation-limit boost
+// shift the watchdog raises when its tantrum-storm verdict fires and decays
+// after recovery. The boost word is read by every enqueue retry's starving
+// check (via Controller.StarveLimit), so it owns a private cache line; the
+// remediation tallies are written a few times per storm at most and may
+// share a line.
+//
+//lcrq:padded
+type Shared struct {
+	boost atomic.Uint64
+	_     pad.Pad
+
+	raises atomic.Uint64 //lcrq:cold
+	decays atomic.Uint64 //lcrq:cold
+
+	// boostMax is read-mostly configuration, set once at construction.
+	boostMax uint64
+}
+
+// NewShared returns remediation state with the boost shift capped at
+// boostMax. 0 selects DefaultBoostMax; a negative cap disables remediation
+// entirely (Raise can never move the shift); the cap itself is bounded by
+// maxBoost so a widened limit cannot overflow.
+func NewShared(boostMax int) *Shared {
+	if boostMax == 0 {
+		boostMax = DefaultBoostMax
+	}
+	if boostMax < 0 {
+		boostMax = 0
+	}
+	if boostMax > maxBoost {
+		boostMax = maxBoost
+	}
+	s := &Shared{}
+	s.boostMax = uint64(boostMax)
+	return s
+}
+
+// Boost returns the current starvation-limit boost shift.
+func (s *Shared) Boost() uint64 { return s.boost.Load() }
+
+// BoostMax returns the configured cap on the boost shift.
+func (s *Shared) BoostMax() uint64 { return s.boostMax }
+
+// Raise increments the boost shift, saturating at the cap. It returns the
+// new shift and whether this call changed it. Safe for concurrent use,
+// though in practice only the watchdog calls it.
+func (s *Shared) Raise() (uint64, bool) {
+	for {
+		cur := s.boost.Load()
+		if cur >= s.boostMax {
+			return cur, false
+		}
+		if s.boost.CompareAndSwap(cur, cur+1) {
+			s.raises.Add(1)
+			return cur + 1, true
+		}
+	}
+}
+
+// Decay decrements the boost shift, flooring at zero. It returns the new
+// shift and whether this call changed it.
+func (s *Shared) Decay() (uint64, bool) {
+	for {
+		cur := s.boost.Load()
+		if cur == 0 {
+			return 0, false
+		}
+		if s.boost.CompareAndSwap(cur, cur-1) {
+			s.decays.Add(1)
+			return cur - 1, true
+		}
+	}
+}
+
+// Raises returns how many boost raises have been applied.
+func (s *Shared) Raises() uint64 { return s.raises.Load() }
+
+// Decays returns how many boost decays have been applied.
+func (s *Shared) Decays() uint64 { return s.decays.Load() }

@@ -1,0 +1,251 @@
+package contention
+
+import (
+	"testing"
+	"time"
+)
+
+func armed(t *testing.T) *Controller {
+	t.Helper()
+	var c Controller
+	c.Init(true, 0, 0, 0, nil)
+	return &c
+}
+
+func TestFailRaisesMultiplicatively(t *testing.T) {
+	c := armed(t)
+	if c.Spins() != 0 {
+		t.Fatalf("fresh controller spins = %d, want 0", c.Spins())
+	}
+	// First failure jumps to the floor.
+	pause, raised := c.Fail()
+	if !raised || c.Spins() != DefaultSpinMin {
+		t.Fatalf("after first Fail: spins=%d raised=%v, want %d/true", c.Spins(), raised, DefaultSpinMin)
+	}
+	if pause < DefaultSpinMin/2 || pause > DefaultSpinMin {
+		t.Fatalf("pause %d outside [level/2, level] = [%d, %d]", pause, DefaultSpinMin/2, DefaultSpinMin)
+	}
+	// Each further failure doubles until the cap.
+	prev := c.Spins()
+	for i := 0; i < 20; i++ {
+		_, _ = c.Fail()
+		s := c.Spins()
+		if s > DefaultSpinMax {
+			t.Fatalf("spins %d exceeded cap %d", s, DefaultSpinMax)
+		}
+		if s < prev {
+			t.Fatalf("spins shrank on failure: %d -> %d", prev, s)
+		}
+		prev = s
+	}
+	if c.Spins() != DefaultSpinMax {
+		t.Fatalf("spins saturated at %d, want cap %d", c.Spins(), DefaultSpinMax)
+	}
+	// At the cap, further failures report raised=false.
+	if _, raised := c.Fail(); raised {
+		t.Fatal("Fail at the cap reported raised=true")
+	}
+}
+
+func TestSuccessDecaysAdditively(t *testing.T) {
+	c := armed(t)
+	c.Fail()
+	c.Fail() // level = 2*DefaultSpinMin
+	level := c.Spins()
+	if !c.Success() {
+		t.Fatal("Success at nonzero level reported no movement")
+	}
+	if got, want := c.Spins(), level-DefaultDecay; got != want {
+		t.Fatalf("after Success: spins=%d, want %d (additive decrease by %d)", got, want, DefaultDecay)
+	}
+	// Decay all the way to zero; the last step floors rather than wrapping.
+	for i := 0; i < 2*int(DefaultSpinMax)/DefaultDecay+2; i++ {
+		c.Success()
+	}
+	if c.Spins() != 0 {
+		t.Fatalf("spins did not floor at 0: %d", c.Spins())
+	}
+	if c.Success() {
+		t.Fatal("Success at level 0 reported movement")
+	}
+}
+
+func TestDisabledControllerIsInert(t *testing.T) {
+	var c Controller
+	c.Init(false, 0, 0, 0, nil)
+	if pause, raised := c.Fail(); pause != 0 || raised {
+		t.Fatalf("disabled Fail = (%d, %v), want (0, false)", pause, raised)
+	}
+	if c.Success() {
+		t.Fatal("disabled Success reported movement")
+	}
+	if got := c.StarveLimit(64); got != 64 {
+		t.Fatalf("disabled StarveLimit(64) = %d, want 64", got)
+	}
+	if got := c.WaitStart(time.Microsecond, time.Millisecond); got != time.Microsecond {
+		t.Fatalf("disabled WaitStart = %v, want the floor", got)
+	}
+	// Jitter still works: herd dispersion is independent of adaptation.
+	if got := c.Jitter(time.Millisecond); got < time.Millisecond/2 || got > 3*time.Millisecond/2 {
+		t.Fatalf("disabled Jitter out of range: %v", got)
+	}
+}
+
+func TestInitClampsInvertedBounds(t *testing.T) {
+	var c Controller
+	c.Init(true, 500, 100, 0, nil) // inverted min/max
+	for i := 0; i < 10; i++ {
+		c.Fail()
+	}
+	if c.Spins() != 500 {
+		t.Fatalf("inverted bounds: spins saturated at %d, want max clamped up to min (500)", c.Spins())
+	}
+	c.Init(true, -3, -7, -1, nil) // negatives select defaults
+	c.Fail()
+	if c.Spins() != DefaultSpinMin {
+		t.Fatalf("negative knobs: first raise = %d, want default floor %d", c.Spins(), DefaultSpinMin)
+	}
+}
+
+func TestStarveLimitWidensWithContentionAndBoost(t *testing.T) {
+	sh := NewShared(0)
+	var c Controller
+	c.Init(true, 0, 0, 0, sh)
+	const base = 64
+	if got := c.StarveLimit(base); got != base {
+		t.Fatalf("idle StarveLimit = %d, want %d", got, base)
+	}
+	c.Fail() // level = DefaultSpinMin
+	if got, want := c.StarveLimit(base), base+DefaultSpinMin; got != want {
+		t.Fatalf("contended StarveLimit = %d, want base+level = %d", got, want)
+	}
+	sh.Raise()
+	if got, want := c.StarveLimit(base), (base+DefaultSpinMin)<<1; got != want {
+		t.Fatalf("boosted StarveLimit = %d, want %d", got, want)
+	}
+}
+
+func TestSharedBoostSaturatesAndFloors(t *testing.T) {
+	sh := NewShared(2)
+	if sh.BoostMax() != 2 {
+		t.Fatalf("BoostMax = %d, want 2", sh.BoostMax())
+	}
+	for i := uint64(1); i <= 2; i++ {
+		if got, changed := sh.Raise(); got != i || !changed {
+			t.Fatalf("Raise #%d = (%d, %v), want (%d, true)", i, got, changed, i)
+		}
+	}
+	if got, changed := sh.Raise(); got != 2 || changed {
+		t.Fatalf("Raise at cap = (%d, %v), want (2, false)", got, changed)
+	}
+	if sh.Raises() != 2 {
+		t.Fatalf("Raises = %d, want 2 (saturated attempts do not count)", sh.Raises())
+	}
+	for i := int64(1); i >= 0; i-- {
+		if got, changed := sh.Decay(); got != uint64(i) || !changed {
+			t.Fatalf("Decay = (%d, %v), want (%d, true)", got, changed, i)
+		}
+	}
+	if got, changed := sh.Decay(); got != 0 || changed {
+		t.Fatalf("Decay at floor = (%d, %v), want (0, false)", got, changed)
+	}
+	if sh.Decays() != 2 {
+		t.Fatalf("Decays = %d, want 2", sh.Decays())
+	}
+	// The default cap applies when unspecified, and absurd caps are bounded.
+	if NewShared(0).BoostMax() != DefaultBoostMax {
+		t.Fatal("NewShared(0) did not select the default cap")
+	}
+	if NewShared(1000).BoostMax() != maxBoost {
+		t.Fatal("NewShared(1000) was not clamped to maxBoost")
+	}
+	// A negative cap disables remediation: the shift can never move.
+	off := NewShared(-1)
+	if off.BoostMax() != 0 {
+		t.Fatal("NewShared(-1) did not disable remediation")
+	}
+	if _, changed := off.Raise(); changed {
+		t.Fatal("Raise moved a remediation-disabled boost")
+	}
+}
+
+func TestJitterDispersion(t *testing.T) {
+	c := armed(t)
+	const d = time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 256; i++ {
+		j := c.Jitter(d)
+		if j < d/2 || j > 3*d/2 {
+			t.Fatalf("Jitter(%v) = %v outside [d/2, 3d/2]", d, j)
+		}
+		seen[j] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("Jitter produced only %d distinct values in 256 draws; not dispersing", len(seen))
+	}
+	if got := c.Jitter(0); got != 0 {
+		t.Fatalf("Jitter(0) = %v, want 0", got)
+	}
+	// Distinct controllers draw from uncorrelated streams.
+	c2 := armed(t)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c.Jitter(d) == c2.Jitter(d) {
+			same++
+		}
+	}
+	if same > 8 {
+		t.Fatalf("two controllers agreed on %d/64 jitters; streams correlated", same)
+	}
+}
+
+func TestWaitLevelMIAD(t *testing.T) {
+	c := armed(t)
+	min, max := 4*time.Microsecond, time.Millisecond
+	if got := c.WaitStart(min, max); got != min {
+		t.Fatalf("cold WaitStart = %v, want %v", got, min)
+	}
+	// Grow through a wait loop: doubling, capped, remembered.
+	b := c.WaitStart(min, max)
+	for i := 0; i < 12; i++ {
+		b = c.WaitGrow(b, max)
+	}
+	if b != max {
+		t.Fatalf("WaitGrow did not cap at max: %v", b)
+	}
+	if got := c.WaitStart(min, max); got != max {
+		t.Fatalf("WaitStart after growth = %v, want remembered %v", got, max)
+	}
+	// Each successful exit decays the remembered level additively.
+	c.WaitDone(min)
+	if got := c.WaitLevel(); got != max-min {
+		t.Fatalf("WaitLevel after WaitDone = %v, want %v", got, max-min)
+	}
+	for i := 0; i < int(max/min)+2; i++ {
+		c.WaitDone(min)
+	}
+	if c.WaitLevel() != 0 {
+		t.Fatalf("WaitLevel did not decay to cold: %v", c.WaitLevel())
+	}
+}
+
+func TestPauseCompletes(t *testing.T) {
+	// Pause must terminate for every level the controller can produce,
+	// including the yield-chunked oversubscription regime.
+	for _, n := range []uint32{0, 1, DefaultSpinMin, yieldSpins - 1, yieldSpins, 3*yieldSpins + 17, DefaultSpinMax} {
+		Pause(n)
+	}
+}
+
+func BenchmarkFailSuccess(b *testing.B) {
+	var c Controller
+	c.Init(true, 0, 0, 0, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%3 == 0 {
+			c.Fail()
+		} else {
+			c.Success()
+		}
+	}
+}

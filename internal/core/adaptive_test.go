@@ -1,0 +1,290 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAdaptiveConfigNormalization pins the clamping of the adaptive knobs:
+// non-positive spin bounds and decay select the defaults, an inverted
+// max is raised to min (matching WithWaitBackoff's convention), and the
+// boost cap maps 0 → default, negative → disabled (-1), huge → hard ceiling.
+func TestAdaptiveConfigNormalization(t *testing.T) {
+	c := Config{AdaptSpinMin: -3, AdaptSpinMax: -7, AdaptDecay: -1}.normalized()
+	if c.AdaptSpinMin != DefaultAdaptSpinMin || c.AdaptSpinMax != DefaultAdaptSpinMax || c.AdaptDecay != DefaultAdaptDecay {
+		t.Fatalf("negative knobs: got (%d, %d, %d), want defaults (%d, %d, %d)",
+			c.AdaptSpinMin, c.AdaptSpinMax, c.AdaptDecay,
+			DefaultAdaptSpinMin, DefaultAdaptSpinMax, DefaultAdaptDecay)
+	}
+	c = Config{AdaptSpinMin: 500, AdaptSpinMax: 100}.normalized()
+	if c.AdaptSpinMax != 500 {
+		t.Fatalf("inverted bounds: max = %d, want raised to min 500", c.AdaptSpinMax)
+	}
+	if got := (Config{}).normalized().AdaptBoostMax; got != DefaultAdaptBoostMax {
+		t.Fatalf("zero boost cap = %d, want default %d", got, DefaultAdaptBoostMax)
+	}
+	if got := (Config{AdaptBoostMax: -5}).normalized().AdaptBoostMax; got != -1 {
+		t.Fatalf("negative boost cap = %d, want the disabled sentinel -1", got)
+	}
+	if got := (Config{AdaptBoostMax: 1000}).normalized().AdaptBoostMax; got != MaxAdaptBoost {
+		t.Fatalf("huge boost cap = %d, want clamped to %d", got, MaxAdaptBoost)
+	}
+}
+
+// adaptiveCRQHandle returns a handle whose controller is armed, for driving
+// a standalone CRQ (detached handles arm only the jitter source).
+func adaptiveCRQHandle() *Handle {
+	h := NewHandle()
+	h.Ctl.Init(true, 0, 0, 0, nil)
+	return h
+}
+
+// TestAdaptiveEnqueueBackoffEngages forces the enqueue cell-retry path
+// deterministically — a cell pre-poisoned with a future index makes the
+// first reserved index unusable, exactly the state a racing dequeuer's
+// empty transition leaves — and checks the controller hooks fire: a raise
+// with burned pause iterations on the failed attempt, a decay on the
+// successful deposit that follows.
+func TestAdaptiveEnqueueBackoffEngages(t *testing.T) {
+	cfg := Config{RingOrder: 1, AdaptiveContention: true}.normalized()
+	q := NewCRQ(cfg)
+	h := adaptiveCRQHandle()
+	// Cell 0 looks "moved past" (safe, index R, ⊥): the enqueuer's idx ≤ t
+	// check fails, so the first attempt abandons the index and retries.
+	q.cell(0).StoreLo(q.size)
+	if !q.Enqueue(h, 42) {
+		t.Fatal("enqueue failed outright on a poisoned first cell")
+	}
+	if h.C.CellRetries == 0 {
+		t.Fatal("poisoned cell did not force a cell retry")
+	}
+	if h.C.AdaptRaises == 0 || h.C.AdaptSpins == 0 {
+		t.Fatalf("failed attempt raised nothing: raises=%d spins=%d",
+			h.C.AdaptRaises, h.C.AdaptSpins)
+	}
+	if h.C.AdaptDecays == 0 {
+		t.Fatal("successful deposit did not decay the backoff")
+	}
+	if v, ok := q.Dequeue(h); !ok || v != 42 {
+		t.Fatalf("dequeue after retried enqueue = (%d, %v), want (42, true)", v, ok)
+	}
+}
+
+// TestAdaptiveDequeueBackoffEngages forces the dequeue retry path: the first
+// reserved head index yields nothing (pre-poisoned cell) while an item sits
+// at the next index, so the dequeuer retries — raising its backoff — and
+// then claims the item, decaying it.
+func TestAdaptiveDequeueBackoffEngages(t *testing.T) {
+	cfg := Config{RingOrder: 1, AdaptiveContention: true, SpinWait: -1}.normalized()
+	q := NewCRQ(cfg)
+	h := adaptiveCRQHandle()
+	// One live item at index 1, and index 0 poisoned past the dequeuer.
+	if !q.Enqueue(h, 7) || !q.Enqueue(h, 8) {
+		t.Fatal("seed enqueues failed")
+	}
+	if v, ok := q.Dequeue(h); !ok || v != 7 {
+		t.Fatalf("seed dequeue = (%d, %v), want (7, true)", v, ok)
+	}
+	h.C.AdaptRaises, h.C.AdaptDecays = 0, 0
+	// Re-poison cell 1 (the next head index) as moved-past with no value.
+	q.cell(1).StoreHi(0)
+	q.cell(1).StoreLo(1 + 2*q.size)
+	// Keep one more live item beyond it so the retry has something to find.
+	if !q.Enqueue(h, 9) {
+		t.Fatal("third enqueue failed")
+	}
+	if v, ok := q.Dequeue(h); !ok || v != 9 {
+		t.Fatalf("retried dequeue = (%d, %v), want (9, true)", v, ok)
+	}
+	if h.C.AdaptRaises == 0 {
+		t.Fatal("missed head index did not raise the backoff")
+	}
+	if h.C.AdaptDecays == 0 {
+		t.Fatal("claimed item did not decay the backoff")
+	}
+}
+
+// TestAdaptiveBatchBackoffEngages covers the batch-path hooks the same way:
+// a poisoned first index inside an EnqueueBatch reservation raises, the
+// deposits that follow decay.
+func TestAdaptiveBatchBackoffEngages(t *testing.T) {
+	cfg := Config{RingOrder: 2, AdaptiveContention: true}.normalized()
+	q := NewCRQ(cfg)
+	h := adaptiveCRQHandle()
+	q.cell(0).StoreLo(q.size) // first reserved index is unusable
+	n, closed := q.EnqueueBatch(h, []uint64{1, 2, 3})
+	if n != 3 || closed {
+		t.Fatalf("EnqueueBatch = (%d, %v), want (3, false)", n, closed)
+	}
+	if h.C.AdaptRaises == 0 {
+		t.Fatal("batch cell loss did not raise the backoff")
+	}
+	if h.C.AdaptDecays == 0 {
+		t.Fatal("batch deposits did not decay the backoff")
+	}
+	// The abandoned index leaves a hole in the reservation, so one batch call
+	// may fill partially; drain across calls and check FIFO order end to end.
+	var drained []uint64
+	out := make([]uint64, 3)
+	for len(drained) < 3 {
+		got := q.DequeueBatch(h, out)
+		if got == 0 {
+			t.Fatalf("queue went empty after draining %d of 3", len(drained))
+		}
+		drained = append(drained, out[:got]...)
+	}
+	for i, v := range drained {
+		if v != uint64(i)+1 {
+			t.Fatalf("drained[%d] = %d, want %d (FIFO broken)", i, v, i+1)
+		}
+	}
+}
+
+// TestAdaptiveQueueConserves runs concurrent traffic through a tiny-ring
+// adaptive queue and checks conservation: every accepted value is dequeued
+// exactly once, with the controller armed end to end. (Engagement itself is
+// asserted by the deterministic whitebox tests above — on a single-processor
+// runner, organically scheduled goroutines may never actually collide.)
+func TestAdaptiveQueueConserves(t *testing.T) {
+	q := NewLCRQ(Config{RingOrder: 1, StarvationLimit: 4, AdaptiveContention: true})
+	if !q.Adaptive() {
+		t.Fatal("Adaptive() = false on an adaptive queue")
+	}
+	const threads, opsEach = 4, 2000
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	handles := make([]*Handle, threads)
+	dequeued := make([]map[uint64]int, threads)
+	var enqueued [threads]uint64
+	for th := 0; th < threads; th++ {
+		handles[th] = q.NewHandle()
+		dequeued[th] = make(map[uint64]int)
+		wg.Add(1)
+		go func(th int) {
+			defer wg.Done()
+			h := handles[th]
+			<-start
+			for i := 0; i < opsEach; i++ {
+				v := uint64(th)<<32 | uint64(i) + 1
+				if q.Enqueue(h, v) {
+					enqueued[th]++
+				}
+				if v, ok := q.Dequeue(h); ok {
+					dequeued[th][v]++
+				}
+			}
+		}(th)
+	}
+	close(start)
+	wg.Wait()
+	// Drain the residue.
+	drain := q.NewHandle()
+	for {
+		v, ok := q.Dequeue(drain)
+		if !ok {
+			break
+		}
+		dequeued[0][v]++
+	}
+	drain.Release()
+	var totalIn, totalOut uint64
+	for th := 0; th < threads; th++ {
+		totalIn += enqueued[th]
+		for v, n := range dequeued[th] {
+			if n != 1 {
+				t.Fatalf("value %#x dequeued %d times", v, n)
+			}
+			totalOut++
+		}
+		handles[th].Release()
+	}
+	if totalIn != totalOut {
+		t.Fatalf("conservation broken: %d enqueued, %d dequeued", totalIn, totalOut)
+	}
+}
+
+// TestAdaptiveWidensStarvationLimit drives one handle's controller up and
+// checks the queue-level plumbing end to end: the handle's effective limit
+// widens with its backoff level, and the shared boost doubles it again.
+func TestAdaptiveWidensStarvationLimit(t *testing.T) {
+	q := NewLCRQ(Config{RingOrder: 4, StarvationLimit: 64, AdaptiveContention: true})
+	h := q.NewHandle()
+	defer h.Release()
+	if got := h.Ctl.StarveLimit(64); got != 64 {
+		t.Fatalf("idle limit = %d, want 64", got)
+	}
+	h.Ctl.Fail() // level = AdaptSpinMin
+	want := 64 + DefaultAdaptSpinMin
+	if got := h.Ctl.StarveLimit(64); got != want {
+		t.Fatalf("contended limit = %d, want %d", got, want)
+	}
+	if _, changed := q.RaiseContention(); !changed {
+		t.Fatal("RaiseContention did not move a fresh boost")
+	}
+	if got := h.Ctl.StarveLimit(64); got != want<<1 {
+		t.Fatalf("boosted limit = %d, want %d", got, want<<1)
+	}
+	if q.ContentionBoost() != 1 || q.ContentionRaises() != 1 {
+		t.Fatalf("boost/raises = %d/%d, want 1/1", q.ContentionBoost(), q.ContentionRaises())
+	}
+	if _, changed := q.DecayContention(); !changed {
+		t.Fatal("DecayContention did not move a raised boost")
+	}
+	if q.ContentionBoost() != 0 || q.ContentionDecays() != 1 {
+		t.Fatalf("boost/decays = %d/%d, want 0/1", q.ContentionBoost(), q.ContentionDecays())
+	}
+}
+
+// TestFixedQueueHasNoControllerResidue: a fixed-constant queue reports the
+// disabled state everywhere and its remediation entry points are no-ops,
+// but its handles still carry a working jitter source.
+func TestFixedQueueHasNoControllerResidue(t *testing.T) {
+	q := NewLCRQ(Config{RingOrder: 4})
+	h := q.NewHandle()
+	defer h.Release()
+	if q.Adaptive() {
+		t.Fatal("Adaptive() = true without the option")
+	}
+	if _, changed := q.RaiseContention(); changed {
+		t.Fatal("RaiseContention moved on a fixed queue")
+	}
+	if _, changed := q.DecayContention(); changed {
+		t.Fatal("DecayContention moved on a fixed queue")
+	}
+	if q.ContentionBoost() != 0 || q.ContentionRaises() != 0 || q.ContentionDecays() != 0 {
+		t.Fatal("nonzero contention gauges on a fixed queue")
+	}
+	if h.Ctl.Enabled() {
+		t.Fatal("handle controller enabled on a fixed queue")
+	}
+	if got := h.Ctl.StarveLimit(64); got != 64 {
+		t.Fatalf("disabled StarveLimit = %d, want pass-through 64", got)
+	}
+	// The jitter source must work regardless (clusterGate and the public
+	// wait loops rely on it).
+	const d = 1000
+	if j := h.Ctl.Jitter(d); j < d/2 || j > 3*d/2 {
+		t.Fatalf("disabled-handle Jitter(%d) = %d out of range", d, j)
+	}
+	// Detached handles (standalone CRQ use) are initialized the same way.
+	if j := NewHandle().Ctl.Jitter(d); j < d/2 || j > 3*d/2 {
+		t.Fatalf("detached-handle Jitter(%d) = %d out of range", d, j)
+	}
+}
+
+// TestAdaptiveBoostDisabledByNegativeCap: AdaptBoostMax < 0 keeps per-handle
+// adaptation but pins the shared boost at zero.
+func TestAdaptiveBoostDisabledByNegativeCap(t *testing.T) {
+	q := NewLCRQ(Config{RingOrder: 4, AdaptiveContention: true, AdaptBoostMax: -1})
+	if !q.Adaptive() {
+		t.Fatal("negative boost cap disabled the whole controller")
+	}
+	if _, changed := q.RaiseContention(); changed {
+		t.Fatal("RaiseContention moved with remediation disabled")
+	}
+	h := q.NewHandle()
+	defer h.Release()
+	if !h.Ctl.Enabled() {
+		t.Fatal("per-handle adaptation off despite AdaptiveContention")
+	}
+}

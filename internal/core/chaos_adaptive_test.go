@@ -1,0 +1,70 @@
+//go:build chaos
+
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"lcrq/internal/chaos"
+)
+
+// adaptiveTiny is the adaptive analogue of the chaos campaign's tiny-ring
+// config: constant segment churn plus the controller's widened thresholds
+// and injected pauses.
+func adaptiveTinyConfig() Config {
+	return Config{
+		RingOrder:          1,
+		StarvationLimit:    4,
+		AdaptiveContention: true,
+		// A small spin range keeps the injected pauses from slowing the
+		// exhaustive checker's tiny histories to a crawl.
+		AdaptSpinMin: 4,
+		AdaptSpinMax: 64,
+	}
+}
+
+// TestLinearizableAdaptiveUnderFaults arms the cell-level faults on an
+// adaptive queue: the controller's backoff pauses and widened starvation
+// thresholds land inside the retry loops the faults perturb, so this is the
+// campaign that would catch an adaptation-introduced linearizability bug.
+func TestLinearizableAdaptiveUnderFaults(t *testing.T) {
+	for _, sc := range []struct {
+		name string
+		arm  func()
+	}{
+		{"enq-cas2-fail", func() { chaos.Set(chaos.EnqCAS2Fail, 0.3) }},
+		{"deq-cas2-fail", func() { chaos.Set(chaos.DeqCAS2Fail, 0.3) }},
+		{"tantrum", func() { chaos.Set(chaos.Tantrum, 0.2) }},
+		{"combined", func() { chaos.EnableAll(0.15) }},
+	} {
+		t.Run(sc.name, func(t *testing.T) {
+			chaos.Reset()
+			defer chaos.Reset()
+			sc.arm()
+			chaosCampaign(t, adaptiveTinyConfig(), 40, 3, 6, 9)
+		})
+	}
+}
+
+// TestLinearizableAdaptiveOversubscribed runs the adaptive campaign with
+// more workers than processors (GOMAXPROCS clamped to 2, 8 threads): the
+// oversubscription regime is where the controller's Gosched-chunked pauses
+// actually yield the processor mid-operation, which is exactly the
+// scheduling pattern that breaks incorrectly-placed backoff. Histories stay
+// tiny — the value is the interleaving diversity, not the op count.
+func TestLinearizableAdaptiveOversubscribed(t *testing.T) {
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	chaos.Reset()
+	defer chaos.Reset()
+	chaos.Set(chaos.EnqCAS2Fail, 0.2)
+	chaos.Set(chaos.DeqCAS2Fail, 0.2)
+	chaos.Set(chaos.Tantrum, 0.15)
+	chaos.Set(chaos.DelayEnq, 0.3)
+	chaos.Set(chaos.DelayDeq, 0.3)
+	chaosCampaign(t, adaptiveTinyConfig(), 25, 8, 4, 31)
+	if chaos.Fired(chaos.Tantrum) == 0 {
+		t.Fatal("tantrum point never fired in the oversubscribed campaign")
+	}
+}

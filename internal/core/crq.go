@@ -278,6 +278,9 @@ func (q *CRQ) Enqueue(h *Handle, v uint64) bool {
 					if h.traceArmed {
 						h.completeEnqTrace()
 					}
+					if q.cfg.AdaptiveContention {
+						h.adaptOK()
+					}
 					return true
 				}
 			}
@@ -285,10 +288,19 @@ func (q *CRQ) Enqueue(h *Handle, v uint64) bool {
 
 		hd := q.head.Load()
 		tries++
-		if chaos.Fire(chaos.Tantrum) {
-			tries = q.cfg.StarvationLimit // forced starvation: throw the tantrum now
+		// The starvation threshold is the fixed limit by default; with the
+		// adaptive controller armed it widens with the handle's measured
+		// contention and the watchdog's boost, so a tantrum storm damps
+		// instead of cascading into ring churn. The chaos-forced tantrum
+		// targets whatever the effective limit is, widened included.
+		limit := q.cfg.StarvationLimit
+		if q.cfg.AdaptiveContention {
+			limit = h.Ctl.StarveLimit(limit)
 		}
-		if full := int64(t-hd) >= int64(q.size); full || tries >= q.cfg.StarvationLimit {
+		if chaos.Fire(chaos.Tantrum) {
+			tries = limit // forced starvation: throw the tantrum now
+		}
+		if full := int64(t-hd) >= int64(q.size); full || tries >= limit {
 			ev := EvRingTantrum
 			if full {
 				ev = EvRingClose
@@ -297,6 +309,9 @@ func (q *CRQ) Enqueue(h *Handle, v uint64) bool {
 			return false
 		}
 		h.C.CellRetries++
+		if q.cfg.AdaptiveContention {
+			h.adaptFail()
+		}
 	}
 }
 
@@ -330,6 +345,9 @@ func (q *CRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 					if cas2(h, cell, chaos.DeqCAS2Fail, lo, hi, unsafeBit|(hIdx+q.size), 0) {
 						if q.stamps != nil {
 							q.checkStamp(h, hIdx, 0)
+						}
+						if q.cfg.AdaptiveContention {
+							h.adaptOK()
 						}
 						return ^hi, true
 					}
@@ -365,6 +383,9 @@ func (q *CRQ) Dequeue(h *Handle) (v uint64, ok bool) {
 			return Bottom, false
 		}
 		h.C.CellRetries++
+		if q.cfg.AdaptiveContention {
+			h.adaptFail()
+		}
 	}
 }
 
@@ -431,19 +452,27 @@ func (q *CRQ) EnqueueBatch(h *Handle, vs []uint64) (n int, closed bool) {
 					if h.traceArmed {
 						h.completeEnqTrace()
 					}
+					if q.cfg.AdaptiveContention {
+						h.adaptOK()
+					}
 					n++
 					continue
 				}
 			}
 			// Lost the cell: abandon index t (a dequeuer empty-transitions
 			// past it, as after any failed single attempt) and fall into the
-			// same full/starvation policy as the single-op path.
+			// same full/starvation policy as the single-op path, widened by
+			// the adaptive controller when armed.
 			hd := q.head.Load()
 			tries++
-			if chaos.Fire(chaos.Tantrum) {
-				tries = q.cfg.StarvationLimit
+			limit := q.cfg.StarvationLimit
+			if q.cfg.AdaptiveContention {
+				limit = h.Ctl.StarveLimit(limit)
 			}
-			if full := int64(t-hd) >= int64(q.size); full || tries >= q.cfg.StarvationLimit {
+			if chaos.Fire(chaos.Tantrum) {
+				tries = limit
+			}
+			if full := int64(t-hd) >= int64(q.size); full || tries >= limit {
 				ev := EvRingTantrum
 				if full {
 					ev = EvRingClose
@@ -452,6 +481,9 @@ func (q *CRQ) EnqueueBatch(h *Handle, vs []uint64) (n int, closed bool) {
 				return n, true
 			}
 			h.C.CellRetries++
+			if q.cfg.AdaptiveContention {
+				h.adaptFail()
+			}
 		}
 	}
 	return n, false
@@ -523,6 +555,9 @@ retry:
 						if q.stamps != nil {
 							q.checkStamp(h, hIdx, n)
 						}
+						if q.cfg.AdaptiveContention {
+							h.adaptOK()
+						}
 						n++
 						break cellLoop
 					}
@@ -559,6 +594,10 @@ retry:
 		// this call can still sit at higher indices — so go back to the
 		// availability check; head has advanced, so this terminates once
 		// tail ≤ head genuinely holds.
+		h.C.CellRetries++
+		if q.cfg.AdaptiveContention {
+			h.adaptFail()
+		}
 		goto retry
 	}
 	return n

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 
+	"lcrq/internal/contention"
 	"lcrq/internal/epoch"
 	"lcrq/internal/hazard"
 	"lcrq/internal/instrument"
@@ -29,6 +30,14 @@ type Handle struct {
 	// LCRQ+H variant. The harness assigns it from the placement policy;
 	// standalone users can leave it 0.
 	Cluster int64
+
+	// Ctl is the adaptive contention controller (Config.AdaptiveContention):
+	// single-writer state owned by the handle's goroutine exactly like C, so
+	// it lives on the handle's private memory and its fast-path methods use
+	// no atomics. Initialized by the queue even on fixed-constant queues —
+	// its jitter source serves the wait-backoff herd dispersion regardless
+	// of whether adaptation is armed.
+	Ctl contention.Controller
 
 	hp       *hazard.Record[CRQ] // non-nil in ReclaimHazard mode
 	ep       *epoch.Record[CRQ]  // non-nil in ReclaimEpoch mode
@@ -124,4 +133,43 @@ func (h *Handle) Release() {
 
 // NewHandle returns a detached handle suitable for standalone CRQ use and
 // for tests. Handles used with an LCRQ must come from (*LCRQ).NewHandle.
-func NewHandle() *Handle { return &Handle{} }
+func NewHandle() *Handle {
+	h := &Handle{}
+	h.Ctl.Init(false, 0, 0, 0, nil)
+	return h
+}
+
+// initContention seeds the handle's contention controller from the queue's
+// configuration. Called for every handle the queue issues, enabled or not:
+// the controller's RNG also drives the wait-backoff jitter, which fixed-
+// constant queues want too.
+func (h *Handle) initContention(q *LCRQ) {
+	h.Ctl.Init(q.cfg.AdaptiveContention, q.cfg.AdaptSpinMin, q.cfg.AdaptSpinMax,
+		q.cfg.AdaptDecay, q.shared)
+}
+
+// adaptFail is the cell-retry hook of the adaptive controller: raise the
+// MIAD backoff level and burn the returned jittered pause before the next
+// attempt. Callers gate on Config.AdaptiveContention so the disabled path
+// stays branch-identical to the pre-adaptive code.
+//
+//lcrq:hotpath
+func (h *Handle) adaptFail() {
+	n, raised := h.Ctl.Fail()
+	if raised {
+		h.C.AdaptRaises++
+	}
+	if n > 0 {
+		h.C.AdaptSpins += uint64(n)
+		contention.Pause(n)
+	}
+}
+
+// adaptOK is the success hook: additively decay the backoff level.
+//
+//lcrq:hotpath
+func (h *Handle) adaptOK() {
+	if h.Ctl.Success() {
+		h.C.AdaptDecays++
+	}
+}

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+
+	"lcrq/internal/instrument"
+	"lcrq/internal/stats"
+)
+
+// ---- Oversubscription sweep (extension): fixed vs adaptive contention ----
+
+// OversubSweepSpec declares an oversubscription study: the pairs workload at
+// thread counts of 1×, 2×, 4×, … GOMAXPROCS, each point measured twice —
+// once with the LCRQ family's fixed spin constants and once with the
+// adaptive contention controller armed. Oversubscription is the regime the
+// controller targets: with more threads than processors, a preempted
+// enqueuer mid-transaction turns every fixed spin constant into either
+// wasted cycles (too long) or a tantrum-close cascade (too short).
+type OversubSweepSpec struct {
+	ID          string
+	Title       string
+	Queue       string // swept queue (an LCRQ-family name, or the comparison is vacuous)
+	Multipliers []int  // thread count = multiplier × GOMAXPROCS
+	MaxDelay    int
+}
+
+// OversubSweep returns the default oversubscription study specification.
+func OversubSweep() OversubSweepSpec {
+	return OversubSweepSpec{
+		ID:          "oversub",
+		Title:       "Oversubscription: fixed spin constants vs adaptive contention controller",
+		Queue:       "lcrq",
+		Multipliers: []int{1, 2, 4, 8},
+		MaxDelay:    100,
+	}
+}
+
+// OversubCell is one variant's measurement at one thread count.
+type OversubCell struct {
+	Mops float64 `json:"mops"` // throughput, million ops/s
+	CI   float64 `json:"ci95"` // 95% confidence half-width
+	// Ring churn per million operations: tantrum-driven churn is what the
+	// adaptive controller's widened starvation thresholds are meant to damp.
+	ClosesPerMop  float64 `json:"closes_per_mop"`
+	AppendsPerMop float64 `json:"appends_per_mop"`
+	// Controller activity (zero for the fixed variant).
+	AdaptRaises uint64 `json:"adapt_raises,omitempty"`
+	AdaptSpins  uint64 `json:"adapt_spins,omitempty"`
+}
+
+// OversubPoint is one thread count's fixed-vs-adaptive comparison.
+type OversubPoint struct {
+	Multiplier int         `json:"multiplier"` // × GOMAXPROCS
+	Threads    int         `json:"threads"`
+	Fixed      OversubCell `json:"fixed"`
+	Adaptive   OversubCell `json:"adaptive"`
+}
+
+// OversubSweepResult is the data behind one oversubscription sweep.
+type OversubSweepResult struct {
+	Spec   OversubSweepSpec
+	Procs  int // GOMAXPROCS the multipliers were scaled by
+	Points []OversubPoint
+}
+
+// RunOversubSweep measures the swept queue at each oversubscription level,
+// fixed constants against the adaptive controller. Threads are deliberately
+// not pinned: oversubscription only exists when the scheduler is free to
+// preempt and migrate, which is the exact condition being studied.
+func RunOversubSweep(spec OversubSweepSpec, sc Scale) (*OversubSweepResult, error) {
+	procs := runtime.GOMAXPROCS(0)
+	out := &OversubSweepResult{Spec: spec, Procs: procs}
+	for _, mult := range spec.Multipliers {
+		if mult < 1 {
+			return nil, fmt.Errorf("oversub sweep %s: multiplier %d < 1", spec.ID, mult)
+		}
+		threads := mult * procs
+		if sc.MaxThreads > 0 && threads > sc.MaxThreads {
+			threads = sc.MaxThreads
+		}
+		p := OversubPoint{Multiplier: mult, Threads: threads}
+		// The variants are measured in interleaved single runs rather than
+		// two blocks of sc.runs() each: background load on a shared machine
+		// drifts over seconds, and a blocked schedule hands one variant the
+		// slow period wholesale. Pairing run i of both variants back to back
+		// makes the drift common-mode, so the delta column is meaningful at
+		// noise levels where the absolute Mops are not.
+		var mops [2]stats.Sample
+		var ctrs [2]instrument.Counters
+		for run := 0; run < sc.runs(); run++ {
+			// Alternate which variant goes first: the second run of a pair
+			// inherits the first's garbage (the discarded queue's rings), so
+			// a fixed order would bias one variant with the other's GC debt.
+			order := []int{0, 1}
+			if run%2 == 1 {
+				order = []int{1, 0}
+			}
+			for _, v := range order {
+				adaptive := v == 1
+				// Pay the previous run's collection debt outside the
+				// measured window.
+				runtime.GC()
+				w := Workload{
+					Queue:     spec.Queue,
+					Threads:   threads,
+					Pairs:     sc.pairs(),
+					MaxDelay:  spec.MaxDelay,
+					Placement: SingleCluster,
+					RingOrder: sc.RingOrder,
+					Runs:      1,
+					Pin:       false,
+					Verify:    true,
+					Capacity:  sc.Capacity,
+					Watchdog:  sc.Watchdog,
+					Adaptive:  adaptive,
+				}
+				r, err := Run(w)
+				if err != nil {
+					return nil, fmt.Errorf("oversub sweep %s at %d threads (adaptive=%v): %w",
+						spec.ID, threads, adaptive, err)
+				}
+				mops[v].Add(r.Mops.Mean())
+				ctrs[v].Add(&r.Counters)
+			}
+		}
+		for v := range mops {
+			cell := OversubCell{
+				Mops:        mops[v].Mean(),
+				CI:          mops[v].CI95(),
+				AdaptRaises: ctrs[v].AdaptRaises,
+				AdaptSpins:  ctrs[v].AdaptSpins,
+			}
+			if ops := ctrs[v].Ops(); ops > 0 {
+				cell.ClosesPerMop = float64(ctrs[v].Closes) * 1e6 / float64(ops)
+				cell.AppendsPerMop = float64(ctrs[v].Appends) * 1e6 / float64(ops)
+			}
+			if v == 1 {
+				p.Adaptive = cell
+			} else {
+				p.Fixed = cell
+			}
+		}
+		out.Points = append(out.Points, p)
+	}
+	return out, nil
+}

@@ -24,6 +24,7 @@
 package telemetry
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -95,6 +96,11 @@ const publishInterval = 256
 // trace.
 const DefaultEventBuffer = 256
 
+// retireMidFold is a test hook invoked between the retired-sum publish and
+// the live-list swap in Unregister — the window where the two halves of the
+// aggregate disagree. Nil outside tests.
+var retireMidFold func()
+
 // Sink aggregates telemetry for one queue. It implements core.Tap.
 type Sink struct {
 	sampleN uint32 // latency sampling stride; 0 disables sampling
@@ -104,13 +110,19 @@ type Sink struct {
 	retired instrument.Counters        // sum over released handles (under mu)
 	retPub  *instrument.AtomicCounters // atomically readable copy of retired
 	recs    atomic.Pointer[[]*Rec]     // copy-on-write registry of live handles
-	seedCtr atomic.Uint64              // sampling phase scrambler
-	hists   [NumKinds]*latHist
-	batches [NumBatchKinds]*latHist // batch-size distributions (items, not ns)
-	sojourn *latHist                // item ring-residency (sampled item traces)
-	events  *eventRing
-	traces  *traceRing // recent completed item traces
-	evCount [core.NumRingEvents]atomic.Uint64
+	// retireVer is a seqlock over the (retPub, recs) pair: odd while an
+	// Unregister is folding a handle into the retired sum. Without it a
+	// Snapshot could read the new retired total and the stale live list,
+	// count the retiring handle twice, and make monotone counters appear
+	// to run backwards between scrapes.
+	retireVer atomic.Uint64
+	seedCtr   atomic.Uint64 // sampling phase scrambler
+	hists     [NumKinds]*latHist
+	batches   [NumBatchKinds]*latHist // batch-size distributions (items, not ns)
+	sojourn   *latHist                // item ring-residency (sampled item traces)
+	events    *eventRing
+	traces    *traceRing // recent completed item traces
+	evCount   [core.NumRingEvents]atomic.Uint64
 }
 
 // New returns a Sink sampling latency 1-in-sampleN (0 disables latency
@@ -185,8 +197,12 @@ func (s *Sink) Register(src *instrument.Counters) *Rec {
 // retired sum so released handles keep contributing to totals.
 func (s *Sink) Unregister(r *Rec) {
 	s.mu.Lock()
+	s.retireVer.Add(1) // odd: fold in progress, Snapshot must not mix halves
 	s.retired.Add(r.src)
 	s.retPub.Store(&s.retired)
+	if retireMidFold != nil {
+		retireMidFold()
+	}
 	old := *s.recs.Load()
 	next := make([]*Rec, 0, len(old))
 	for _, o := range old {
@@ -195,6 +211,7 @@ func (s *Sink) Unregister(r *Rec) {
 		}
 	}
 	s.recs.Store(&next)
+	s.retireVer.Add(1) // even: retired sum and live list agree again
 	s.mu.Unlock()
 }
 
@@ -279,12 +296,28 @@ type Snapshot struct {
 func (s *Sink) Snapshot() Snapshot {
 	var snap Snapshot
 	snap.SampleN = int(s.sampleN)
-	snap.Counters = s.retPub.Load()
-	recs := *s.recs.Load()
-	snap.Handles = len(recs)
-	for _, r := range recs {
-		c := r.pub.Load()
-		snap.Counters.Add(&c)
+	// Seqlock read of the counter aggregate: a retirement observed mid-read
+	// would count the retiring handle both in the retired sum and in the
+	// stale live list, so retry until a whole pass lands between folds.
+	// Retirements are rare (handle release), so this loops at most a few
+	// times in practice.
+	for {
+		v := s.retireVer.Load()
+		if v&1 != 0 {
+			runtime.Gosched()
+			continue
+		}
+		agg := s.retPub.Load()
+		recs := *s.recs.Load()
+		for _, r := range recs {
+			c := r.pub.Load()
+			agg.Add(&c)
+		}
+		if s.retireVer.Load() == v {
+			snap.Counters = agg
+			snap.Handles = len(recs)
+			break
+		}
 	}
 	for k := range s.hists {
 		snap.Latency[k] = s.hists[k].snapshot()

@@ -204,3 +204,81 @@ func TestConcurrentEventsAndSnapshots(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestSnapshotMonotoneAcrossRetirement is the regression test for the
+// retire-fold seqlock: a Snapshot racing an Unregister used to read the new
+// retired sum together with the stale live list, count the retiring handle
+// twice, and make the monotone aggregate appear to run backwards on the
+// next scrape. The retireMidFold hook parks the writer exactly inside the
+// inconsistent window while a concurrent reader snapshots — deterministic,
+// because the organic window is a few instructions wide and essentially
+// unhittable on one CPU.
+func TestSnapshotMonotoneAcrossRetirement(t *testing.T) {
+	s := New(0, 0)
+	var c instrument.Counters
+	r := s.Register(&c)
+	c.Enqueues = 1000
+	r.Flush()
+
+	inWindow := make(chan struct{})
+	release := make(chan struct{})
+	retireMidFold = func() {
+		close(inWindow)
+		<-release
+	}
+	defer func() { retireMidFold = nil }()
+
+	got := make(chan uint64, 1)
+	go s.Unregister(r)
+	<-inWindow
+	go func() { got <- s.Snapshot().Counters.Enqueues }()
+	// Give the reader time to enter Snapshot while the fold is parked; the
+	// seqlock must hold it until the fold completes.
+	select {
+	case n := <-got:
+		t.Fatalf("Snapshot returned mid-fold: enqueues = %d (double-counted)", n)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if n := <-got; n != 1000 {
+		t.Fatalf("post-fold enqueues = %d, want 1000", n)
+	}
+}
+
+// TestSnapshotMonotoneStress is the stochastic companion: handles churn as
+// fast as possible while a reader asserts the enqueue total never decreases.
+func TestSnapshotMonotoneStress(t *testing.T) {
+	s := New(0, 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var c instrument.Counters
+			r := s.Register(&c)
+			c.Enqueues = 1000
+			r.Flush()
+			s.Unregister(r)
+		}
+	}()
+
+	var last uint64
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		got := s.Snapshot().Counters.Enqueues
+		if got < last {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("aggregate enqueues went backwards: %d -> %d", last, got)
+		}
+		last = got
+	}
+	close(stop)
+	wg.Wait()
+}
