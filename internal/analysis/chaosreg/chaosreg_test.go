@@ -1,0 +1,12 @@
+package chaosreg_test
+
+import (
+	"testing"
+
+	"lcrq/internal/analysis/chaosreg"
+	"lcrq/internal/lint/linttest"
+)
+
+func TestChaosreg(t *testing.T) {
+	linttest.Run(t, chaosreg.Analyzer, "chaosregtest")
+}

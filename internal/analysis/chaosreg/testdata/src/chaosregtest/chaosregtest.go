@@ -1,0 +1,58 @@
+// Package chaosregtest is a lint fixture: injection-point registry hygiene
+// and call sites that bypass the registered chaos.Point constants.
+package chaosregtest
+
+import "lcrq/internal/chaos"
+
+// point is a fixture-local enum standing in for chaos.Point, so the
+// registry rule can be exercised without editing the real table.
+type point uint8
+
+const (
+	alpha point = iota
+	beta
+	gamma
+	numPoints
+)
+
+// names is a well-formed registry apart from its seeded violations.
+//
+//lcrq:points
+var names = [numPoints]string{
+	alpha: "alpha-point",
+	beta:  "Beta_Point",   // want `entry "Beta_Point" for beta is not kebab-case`
+	gamma: "alpha-point", // want `entry "alpha-point" for gamma duplicates alpha`
+}
+
+// edgeNames seeds the hyphen-placement violations.
+//
+//lcrq:points
+var edgeNames = [numPoints]string{
+	alpha: "-leading",  // want `entry "-leading" for alpha is not kebab-case`
+	beta:  "double--up", // want `entry "double--up" for beta is not kebab-case`
+	gamma: "trailing-", // want `entry "trailing-" for gamma is not kebab-case`
+}
+
+// notTable is annotated but not a name table at all.
+//
+//lcrq:points
+var notTable = "oops" // want `registry must be initialized with an enum-indexed array literal`
+
+// plainBound has a plain integer bound, so no enum ties it to a constant
+// set.
+//
+//lcrq:points
+var plainBound = [4]string{"a", "b", "c", "d"} // want `want \[Sentinel\]string with a defined integer-typed constant bound`
+
+// sweep exercises the call-site rule against the real chaos package.
+func sweep() {
+	for _, p := range chaos.Points() {
+		chaos.Set(p, 0.5) // dynamic point: the schedule sweep's loop variable
+	}
+	chaos.Set(chaos.RingClose, 1)  // named constant: registered
+	_ = chaos.Fire(chaos.Tantrum)  // named constant: registered
+	chaos.Delay(3)                    // want `Delay called with an unregistered point value`
+	_ = chaos.Fired(chaos.Point(7))   // want `Fired called with an unregistered point value`
+	chaos.Set(chaos.NumPoints, 1)     // want `Set called with NumPoints, the registry sentinel`
+	chaos.Reset()
+}

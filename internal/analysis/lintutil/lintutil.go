@@ -19,6 +19,10 @@ const AtomicPkgPath = "lcrq/internal/atomic128"
 // PadPkgPath is the import path of the cache-line padding package.
 const PadPkgPath = "lcrq/internal/pad"
 
+// ChaosPkgPath is the import path of the fault-injection package whose
+// Point enum the chaosreg analyzer guards.
+const ChaosPkgPath = "lcrq/internal/chaos"
+
 // Directive reports whether the comment group contains the //lcrq:<name>
 // directive and returns the remainder of that line (the directive's
 // argument, trimmed) if so. Directives follow the compiler's pragma shape:
@@ -48,11 +52,35 @@ func FuncDirective(fn *ast.FuncDecl, name string) (string, bool) {
 // FieldDirective looks the directive up on a struct field, accepting both
 // the doc comment above the field and the line comment after it.
 func FieldDirective(f *ast.Field, name string) bool {
-	if _, ok := Directive(f.Doc, name); ok {
-		return true
-	}
-	_, ok := Directive(f.Comment, name)
+	_, ok := FieldDirectiveArg(f, name)
 	return ok
+}
+
+// FieldDirectiveArg is FieldDirective returning the directive's argument.
+func FieldDirectiveArg(f *ast.Field, name string) (string, bool) {
+	if arg, ok := Directive(f.Doc, name); ok {
+		return arg, true
+	}
+	return Directive(f.Comment, name)
+}
+
+// TypeDirective looks a directive up on a type declaration, accepting both
+// the TypeSpec's own doc comment and (for single-spec declarations, the
+// common case) the enclosing GenDecl's.
+func TypeDirective(gd *ast.GenDecl, ts *ast.TypeSpec, name string) (string, bool) {
+	if arg, ok := Directive(ts.Doc, name); ok {
+		return arg, true
+	}
+	return Directive(gd.Doc, name)
+}
+
+// VarDirective looks a directive up on a package-level var declaration,
+// accepting both the ValueSpec's doc and the enclosing GenDecl's.
+func VarDirective(gd *ast.GenDecl, vs *ast.ValueSpec, name string) (string, bool) {
+	if arg, ok := Directive(vs.Doc, name); ok {
+		return arg, true
+	}
+	return Directive(gd.Doc, name)
 }
 
 // IsPkgType reports whether t (after unwrapping aliases) is the named type
@@ -219,4 +247,221 @@ func FieldOffset(sizes types.Sizes, s *types.Struct, i int) int64 {
 		fields[j] = s.Field(j)
 	}
 	return sizes.Offsetsof(fields)[i]
+}
+
+// Parents maps every node under root to its parent, for analyses that need
+// the syntactic context of an expression (is this selector the receiver of
+// a call, the target of an assignment, the operand of &...).
+func Parents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// RootIdent walks an access chain — selectors, indexing, dereferences,
+// parens, address-of — down to the identifier at its base. Returns nil for
+// expressions not rooted in a plain identifier (calls, literals).
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isConstructor reports whether e is a fresh-instance expression: a
+// composite literal, its address, or a new(T) call.
+func isConstructor(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new"
+			}
+		}
+	}
+	return false
+}
+
+// ConstructedLocals returns the local variables of fn that provably hold a
+// fresh, not-yet-shared instance: declared `x := T{...}`, `x := &T{...}`,
+// `x := new(T)`, or `var x T` (zero value), and never reassigned from any
+// other source. Accesses through such variables are construction-window
+// accesses — the object cannot be visible to another goroutine yet — which
+// is the exemption the protocol analyzers grant to constructors. The map is
+// keyed by the variable's types.Object.
+//
+// Taking the address of a tracked value variable (&x) forfeits ownership:
+// the alias could be published and the variable mutated through it.
+func ConstructedLocals(fn *ast.FuncDecl, info *types.Info) map[types.Object]bool {
+	owned := make(map[types.Object]bool)
+	if fn.Body == nil {
+		return owned
+	}
+	disowned := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if n.Tok == token.DEFINE {
+					if obj := info.Defs[id]; obj != nil && rhs != nil && isConstructor(info, rhs) {
+						owned[obj] = true
+					}
+				} else if obj := info.Uses[id]; obj != nil {
+					if rhs == nil || !isConstructor(info, rhs) {
+						disowned[obj] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				obj := info.Defs[id]
+				if obj == nil {
+					continue
+				}
+				if len(n.Values) == 0 || (i < len(n.Values) && isConstructor(info, n.Values[i])) {
+					owned[obj] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if obj := info.Uses[id]; obj != nil {
+						disowned[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for o := range disowned {
+		delete(owned, o)
+	}
+	return owned
+}
+
+// mutatorMethods is the set of method names through which the repo's
+// atomic wrappers (sync/atomic typed wrappers, atomic128.Uint128) and
+// plain accumulator structs (instrument.Counters) mutate their receiver.
+var mutatorMethods = map[string]bool{
+	"Store": true, "Add": true, "Swap": true, "CompareAndSwap": true,
+	"StoreLo": true, "StoreHi": true, "Or": true, "And": true,
+}
+
+// IsMutatorName reports whether a method name is a recognized receiver
+// mutator (Store/Add/Swap/CompareAndSwap and the Uint128 half-stores).
+func IsMutatorName(name string) bool { return mutatorMethods[name] }
+
+// AccessKind classifies how a field selector expression is used, given the
+// parent map of its enclosing declaration.
+type AccessKind int
+
+const (
+	// AccessRead covers loads: plain reads, Load() method calls, value
+	// copies. The default when nothing marks the access as mutating.
+	AccessRead AccessKind = iota
+	// AccessWrite covers mutations: assignment targets, ++/--, mutator
+	// method calls (Store/Add/...), and address-of (the pointer may be
+	// handed to a writer, so it is treated as mutable access).
+	AccessWrite
+)
+
+// ClassifyAccess reports whether the selector expression sel (which
+// resolves to a struct field) is used to mutate the field, per the parent
+// context. parents must come from Parents over the enclosing declaration.
+func ClassifyAccess(sel ast.Expr, parents map[ast.Node]ast.Node) AccessKind {
+	cur := ast.Node(sel)
+	for {
+		p := parents[cur]
+		switch p := p.(type) {
+		case *ast.ParenExpr:
+			cur = p
+			continue
+		case *ast.SelectorExpr:
+			// sel is the X of a deeper selector: a method call on the field
+			// (x.f.Store(...)) or a sub-field access (x.f.sub = ...).
+			if p.X != cur {
+				return AccessRead
+			}
+			if call, ok := parents[p].(*ast.CallExpr); ok && call.Fun == p {
+				if IsMutatorName(p.Sel.Name) {
+					return AccessWrite
+				}
+				return AccessRead
+			}
+			cur = p
+			continue
+		case *ast.IndexExpr:
+			if p.X != cur {
+				return AccessRead // sel is the index, not the base
+			}
+			cur = p
+			continue
+		case *ast.StarExpr:
+			cur = p
+			continue
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				// &x.f: the address may reach a writer.
+				return AccessWrite
+			}
+			return AccessRead
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == cur {
+					return AccessWrite
+				}
+			}
+			return AccessRead
+		case *ast.IncDecStmt:
+			if p.X == cur {
+				return AccessWrite
+			}
+			return AccessRead
+		default:
+			return AccessRead
+		}
+	}
 }

@@ -1,0 +1,291 @@
+// Package publication enforces safe-publication construction windows for
+// types annotated //lcrq:publish.
+//
+// The queue's shared objects follow one lifecycle: build the object with
+// plain stores while it is still private to the constructing goroutine,
+// then publish it — an atomic pointer store, a registry append, a return —
+// and never plainly write it again. The happens-before edge of the
+// publishing store is what makes the plain construction stores visible to
+// every reader; a plain write *after* publication has no such edge and is
+// a data race, however innocent it looks (the CRQ's mask/slab/stamps, a
+// Sink's histogram table, a flight-recorder frame being filled in).
+//
+// atomiconly's //lcrq:exclusive directive already exempted single-threaded
+// windows, but as an unchecked per-function claim. This analyzer turns the
+// pre-publication half of that claim into a checked phase: annotate the
+// type once, and the analyzer verifies that plain writes to its fields
+// happen only while the instance is provably unpublished.
+//
+// A write to a field of a //lcrq:publish type is accepted when:
+//
+//   - the access chain roots at a local variable holding a fresh instance
+//     (x := T{...}, x := &T{...}, new(T), var x T) and the write precedes
+//     the variable's first escape — passing it (or a pointer into it) to a
+//     call, assigning it anywhere, storing it in a composite literal or
+//     container, sending it, or returning it; or
+//   - the enclosing function is annotated //lcrq:exclusive — the remaining
+//     legitimate post-publication windows (teardown after quiescence,
+//     reset of a reclaimed ring) where exclusivity is re-established by
+//     the reclamation protocol rather than by construction order.
+//
+// Two field classes are exempt because they carry their own checked
+// protocol: atomic fields (sync/atomic wrappers, atomic128.Uint128 —
+// atomiconly's domain; taking their address to pass to a CAS helper is the
+// hazard-pointer idiom, not a plain write) and //lcrq:seqlock-guarded
+// fields (seqlockcheck's domain — the retire fold legitimately mutates
+// them post-publication, under the version bracket).
+//
+// Likewise three uses are deliberately not escapes: method calls through
+// the object (x.mu.Lock() — construct-then-init), field values passed to
+// calls or copied out (append(d.Frames, ...) copies a slice header, it
+// does not publish d), and addresses of slab *elements* (&q.slab[i]
+// reaches one atomic cell, never the object's plain fields). Reads are
+// unrestricted.
+package publication
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lcrq/internal/analysis/lintutil"
+	"lcrq/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "publication",
+	Doc:  "check that plain fields of //lcrq:publish types are written only before the object escapes",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	fields := make(map[types.Object]*types.Named)
+	count := 0
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, ok := lintutil.TypeDirective(gd, ts, "publish"); !ok {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					pass.Reportf(ts.Pos(), "//lcrq:publish annotation on %s, which is not a struct type", ts.Name.Name)
+					continue
+				}
+				count++
+				for _, f := range st.Fields.List {
+					if lintutil.FieldDirective(f, "seqlock") {
+						continue // its own protocol; seqlockcheck territory
+					}
+					for _, id := range f.Names {
+						fobj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+						if !ok || lintutil.IsAtomicHot(fobj.Type()) {
+							continue // atomics are atomiconly territory
+						}
+						fields[fobj] = named
+					}
+				}
+			}
+		}
+	}
+	if count == 0 {
+		return nil, nil
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, exclusive := lintutil.FuncDirective(fn, "exclusive"); exclusive {
+				continue
+			}
+			checkFunc(pass, fn, fields)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, fields map[types.Object]*types.Named) {
+	parents := lintutil.Parents(fn)
+	owned := lintutil.ConstructedLocals(fn, pass.TypesInfo)
+	escapes := escapePositions(pass.TypesInfo, fn, parents, owned)
+
+	ast.Inspect(fn, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok {
+			return true
+		}
+		named, guarded := fields[s.Obj()]
+		if !guarded {
+			return true
+		}
+		if !isPlainWrite(sel, parents) {
+			return true
+		}
+		root := lintutil.RootIdent(sel)
+		var rootObj types.Object
+		if root != nil {
+			rootObj = pass.TypesInfo.Uses[root]
+		}
+		if rootObj != nil && owned[rootObj] {
+			esc, escaped := escapes[rootObj]
+			if !escaped || sel.Pos() < esc {
+				return true // construction window: written before publication
+			}
+			pass.Reportf(sel.Pos(),
+				"field %s of published type %s written after %s escaped at line %d; plain stores must precede publication (move the write before the escape, or annotate the function //lcrq:exclusive)",
+				s.Obj().Name(), named.Obj().Name(), root.Name, pass.Fset.Position(esc).Line)
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"plain field %s of published type %s written in %s outside its construction window; published objects are frozen after the publishing store (annotate the function //lcrq:exclusive if exclusivity is re-established)",
+			s.Obj().Name(), named.Obj().Name(), fn.Name.Name)
+		return true
+	})
+}
+
+// isPlainWrite reports whether sel is the target of a plain store: an
+// assignment, ++/--, or having its address taken (the pointer may be
+// written through). Mutator method calls (x.f.Store) are atomic publishes,
+// not plain stores, and are atomiconly/seqlockcheck territory; the address
+// of an *element* (&x.slab[i]) reaches element storage, not the field
+// header, and the elements carry their own (atomic) discipline.
+func isPlainWrite(sel ast.Expr, parents map[ast.Node]ast.Node) bool {
+	cur := ast.Node(sel)
+	indexed := false
+	for {
+		p := parents[cur]
+		switch p := p.(type) {
+		case *ast.ParenExpr:
+			cur = p
+		case *ast.IndexExpr:
+			if p.X != cur {
+				return false
+			}
+			indexed = true
+			cur = p
+		case *ast.StarExpr:
+			cur = p
+		case *ast.UnaryExpr:
+			return p.Op == token.AND && !indexed // &x.f may be written through
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == cur {
+					return true
+				}
+			}
+			return false
+		case *ast.IncDecStmt:
+			return p.X == cur
+		default:
+			return false
+		}
+	}
+}
+
+// escapePositions returns, per owned local, the position of its first
+// escape: any use other than a field/element access through it or a method
+// call on it. Locals that never escape are absent from the map.
+func escapePositions(info *types.Info, fn *ast.FuncDecl, parents map[ast.Node]ast.Node, owned map[types.Object]bool) map[types.Object]token.Pos {
+	escapes := make(map[types.Object]token.Pos)
+	record := func(obj types.Object, pos token.Pos) {
+		if cur, ok := escapes[obj]; !ok || pos < cur {
+			escapes[obj] = pos
+		}
+	}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil || !owned[obj] {
+			return true
+		}
+		if escapingUse(id, parents) {
+			record(obj, id.Pos())
+		}
+		return true
+	})
+	return escapes
+}
+
+// escapingUse classifies one use of an owned local: false for accesses
+// through the object (x.f reads/writes, x[i], method calls on x, field
+// values copied out — a copied field is not a pointer to x), true for
+// anything that lets the object itself or a pointer into it leave the
+// function's hands: the bare variable (or &x, &x.f) passed to a call,
+// assigned, returned, stored in a composite literal or container, or sent.
+func escapingUse(id *ast.Ident, parents map[ast.Node]ast.Node) bool {
+	cur := ast.Node(id)
+	deref := false     // passed through a selector/index: cur is now a field/element value
+	addressed := false // passed through &: cur is a pointer into the object
+	leaks := func() bool { return !deref || addressed }
+	for {
+		p := parents[cur]
+		switch p := p.(type) {
+		case *ast.ParenExpr, *ast.StarExpr:
+			cur = p.(ast.Node)
+		case *ast.SelectorExpr:
+			if p.X != cur {
+				return false // x is the Sel, impossible for a chain base
+			}
+			// Chain link: x.f.g is an access through x, yielding a value
+			// that is not itself a reference into x (pointer-typed fields
+			// point elsewhere; they are their own objects).
+			deref = true
+			cur = p
+		case *ast.IndexExpr:
+			if p.X != cur {
+				return false // x used as an index is a plain read
+			}
+			deref = true
+			cur = p
+		case *ast.UnaryExpr:
+			if p.Op != token.AND {
+				return false
+			}
+			// &x or &x.f: a pointer into the object. Where does it go?
+			addressed = true
+			cur = p
+		case *ast.CallExpr:
+			if p.Fun == cur {
+				return false // method call on the chain: x.f.M(...)
+			}
+			return leaks() // x or &x.f passed as an argument
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == cur {
+					return false // x.f = v / x = v: a write, not an escape
+				}
+			}
+			return leaks() // v = x (or x on an RHS anywhere)
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+			return leaks()
+		default:
+			return false
+		}
+	}
+}

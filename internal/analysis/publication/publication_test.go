@@ -1,0 +1,12 @@
+package publication_test
+
+import (
+	"testing"
+
+	"lcrq/internal/analysis/publication"
+	"lcrq/internal/lint/linttest"
+)
+
+func TestPublication(t *testing.T) {
+	linttest.Run(t, publication.Analyzer, "publicationtest")
+}

@@ -1,0 +1,76 @@
+// Package publicationtest is a lint fixture: plain fields of published
+// types written before and after the object escapes.
+package publicationtest
+
+import "sync/atomic"
+
+// ring models the construct-then-publish lifecycle: plain geometry fields
+// frozen at publication, one atomic for post-publication state.
+//
+//lcrq:publish
+type ring struct {
+	mask  uint64
+	slab  []uint64
+	ready atomic.Uint32
+}
+
+var shared atomic.Pointer[ring]
+
+// newRing is the sanctioned shape: every plain write precedes the escape.
+func newRing(n int) *ring {
+	r := &ring{}
+	r.mask = uint64(n - 1)
+	r.slab = make([]uint64, n)
+	shared.Store(r)
+	return r
+}
+
+// lateWrite keeps writing after the publishing store: the write races
+// every reader that already holds the pointer.
+func lateWrite(n int) {
+	r := &ring{}
+	r.mask = 1
+	shared.Store(r)
+	r.slab = make([]uint64, n) // want `field slab of published type ring written after r escaped at line \d+`
+}
+
+// mutateShared writes an object it did not construct.
+func mutateShared() {
+	r := shared.Load()
+	r.mask = 0 // want `plain field mask of published type ring written in mutateShared outside its construction window`
+}
+
+// grow receives the object from elsewhere: already published.
+func grow(r *ring) {
+	r.slab = append(r.slab, 0) // want `plain field slab of published type ring written in grow outside its construction window`
+}
+
+// leak takes an interior pointer a writer could store through.
+func leak(r *ring) *uint64 {
+	return &r.mask // want `plain field mask of published type ring written in leak outside its construction window`
+}
+
+// reset re-establishes exclusivity by protocol (reclamation, quiescence);
+// the annotation sanctions the plain writes.
+//
+//lcrq:exclusive
+func reset(r *ring) {
+	r.mask = 0
+	r.slab = r.slab[:0]
+}
+
+// flip mutates post-publication state through the atomic's method set:
+// not a plain write, atomiconly territory.
+func flip(r *ring) {
+	r.ready.Store(1)
+}
+
+// geometry reads are unrestricted.
+func geometry(r *ring) uint64 {
+	return r.mask
+}
+
+// notAStruct cannot carry a publication contract.
+//
+//lcrq:publish
+type notAStruct int // want `annotation on notAStruct, which is not a struct type`

@@ -1,0 +1,359 @@
+// Package seqlockcheck enforces the repo's seqlock protocol on fields
+// annotated //lcrq:seqlock <version>.
+//
+// The queue's observability layers publish multi-word state to concurrent
+// readers without locks by pairing the data with a version word: a writer
+// bumps the version (odd = mid-update, or 0 = unpublished for the tag-style
+// ring slots) before the first guarded store and publishes it again after
+// the last one; a reader loads the version, reads the guarded words, then
+// re-loads the version and discards (or retries) the pass when the two
+// loads disagree. The repo carries at least four of these: the telemetry
+// event ring, the recent-traces ring, the per-ring trace stamps, and the
+// Snapshot/Unregister retire fold. The retire-fold race fixed in PR 8 — a
+// scrape mixing the new retired sum with the stale live list — was exactly
+// a guarded access outside the protocol, caught only by a flaky test; this
+// analyzer catches that class at compile time.
+//
+// Annotation: a struct field carrying `//lcrq:seqlock ver` (doc or line
+// comment) is guarded by the version field named ver in the same struct.
+// Several fields naming the same version word form one guarded group — the
+// pair (or triple) the seqlock makes atomic. Per function, the analyzer
+// then requires:
+//
+//   - any function mutating a guarded field (assignment, ++/--, a
+//     Store/Add/Swap/CompareAndSwap method call, or taking its address)
+//     must write the version word both before its first guarded access and
+//     after its last one — the odd/even (or unpublish/publish) bracket;
+//   - any function that only reads guarded fields must load the version
+//     word before the first guarded read and again after the last one, and
+//     must compare a version load somewhere (== or !=), the re-check that
+//     turns a torn read into a retry or a dropped sample;
+//   - accesses through a provably unpublished local (a variable holding a
+//     fresh composite literal or new(T) — the construction window) and
+//     functions annotated //lcrq:exclusive are exempt.
+//
+// The bracket test is positional within the function body, which matches
+// how every seqlock in the repo is written (straight-line critical
+// sections, per-slot loops whose body reads in source order). It cannot
+// prove cross-function protocols; keep each critical section in one
+// function, which is also the reviewable shape.
+package seqlockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"lcrq/internal/analysis/lintutil"
+	"lcrq/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seqlockcheck",
+	Doc:  "check that //lcrq:seqlock guarded fields are only accessed under the version-word protocol",
+	Run:  run,
+}
+
+// verInfo describes one guarded field: the version word that guards it and
+// the names used in diagnostics.
+type verInfo struct {
+	ver        types.Object
+	fieldName  string
+	structName string
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, exclusive := lintutil.FuncDirective(fn, "exclusive"); exclusive {
+				continue
+			}
+			checkFunc(pass, fn, guarded)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuarded maps each annotated field object to its version word.
+func collectGuarded(pass *analysis.Pass) map[types.Object]verInfo {
+	guarded := make(map[types.Object]verInfo)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				collectStruct(pass, ts, st, guarded)
+			}
+		}
+	}
+	return guarded
+}
+
+func collectStruct(pass *analysis.Pass, ts *ast.TypeSpec, st *ast.StructType, guarded map[types.Object]verInfo) {
+	// Resolve a version-field name to its object within this struct.
+	verObj := func(name string) types.Object {
+		for _, f := range st.Fields.List {
+			for _, id := range f.Names {
+				if id.Name == name {
+					return pass.TypesInfo.Defs[id]
+				}
+			}
+		}
+		return nil
+	}
+	for _, f := range st.Fields.List {
+		arg, ok := lintutil.FieldDirectiveArg(f, "seqlock")
+		if !ok {
+			continue
+		}
+		if arg == "" {
+			pass.Reportf(f.Pos(), "//lcrq:seqlock on %s.%s names no version field (want //lcrq:seqlock <field>)",
+				ts.Name.Name, fieldNames(f))
+			continue
+		}
+		ver := verObj(arg)
+		if ver == nil {
+			pass.Reportf(f.Pos(), "//lcrq:seqlock on %s.%s names unknown version field %q in %s",
+				ts.Name.Name, fieldNames(f), arg, ts.Name.Name)
+			continue
+		}
+		for _, id := range f.Names {
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				continue
+			}
+			if obj == ver {
+				pass.Reportf(f.Pos(), "//lcrq:seqlock on %s.%s names the field itself as its version word",
+					ts.Name.Name, id.Name)
+				continue
+			}
+			guarded[obj] = verInfo{ver: ver, fieldName: id.Name, structName: ts.Name.Name}
+		}
+	}
+}
+
+func fieldNames(f *ast.Field) string {
+	if len(f.Names) == 0 {
+		return "_"
+	}
+	s := f.Names[0].Name
+	for _, id := range f.Names[1:] {
+		s += "," + id.Name
+	}
+	return s
+}
+
+// access is one guarded-field use inside a function.
+type access struct {
+	pos   token.Pos
+	node  ast.Node
+	info  verInfo
+	write bool
+}
+
+// verOps collects, per version object, the positions of its writes and
+// reads and whether any ==/!= comparison involves it.
+type verOps struct {
+	writes   []token.Pos
+	reads    []token.Pos
+	compared bool
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guarded map[types.Object]verInfo) {
+	// Version objects of interest: the union over guarded fields.
+	vers := make(map[types.Object]bool)
+	for _, vi := range guarded {
+		vers[vi.ver] = true
+	}
+
+	parents := lintutil.Parents(fn)
+	owned := lintutil.ConstructedLocals(fn, pass.TypesInfo)
+
+	accesses := make(map[types.Object][]access) // keyed by version object
+	ops := make(map[types.Object]*verOps)
+	opsFor := func(v types.Object) *verOps {
+		o := ops[v]
+		if o == nil {
+			o = &verOps{}
+			ops[v] = o
+		}
+		return o
+	}
+
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			obj := selObject(pass.TypesInfo, n)
+			if obj == nil {
+				return true
+			}
+			if vi, isGuarded := guarded[obj]; isGuarded {
+				if root := lintutil.RootIdent(n); root != nil {
+					if ro := pass.TypesInfo.Uses[root]; ro != nil && owned[ro] {
+						return true // construction window: object not yet shared
+					}
+				}
+				accesses[vi.ver] = append(accesses[vi.ver], access{
+					pos:   n.Pos(),
+					node:  n,
+					info:  vi,
+					write: lintutil.ClassifyAccess(n, parents) == lintutil.AccessWrite,
+				})
+				return true
+			}
+			if vers[obj] {
+				o := opsFor(obj)
+				if lintutil.ClassifyAccess(n, parents) == lintutil.AccessWrite {
+					o.writes = append(o.writes, n.Pos())
+				} else {
+					o.reads = append(o.reads, n.Pos())
+				}
+			}
+		case *ast.CallExpr:
+			// Old-API sync/atomic forms: atomic.AddUint64(&s.ver, 1).
+			operand, _ := lintutil.AtomicCall(pass.TypesInfo, n)
+			if operand == nil {
+				return true
+			}
+			obj := lintutil.ExprObject(pass.TypesInfo, ast.Unparen(operand))
+			if obj == nil || !vers[obj] {
+				return true
+			}
+			o := opsFor(obj)
+			if isLoadCall(n) {
+				o.reads = append(o.reads, n.Pos())
+			} else {
+				o.writes = append(o.writes, n.Pos())
+			}
+		case *ast.BinaryExpr:
+			if n.Op != token.EQL && n.Op != token.NEQ {
+				return true
+			}
+			ast.Inspect(n, func(m ast.Node) bool {
+				if sel, ok := m.(*ast.SelectorExpr); ok {
+					if obj := selObject(pass.TypesInfo, sel); obj != nil && vers[obj] {
+						opsFor(obj).compared = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	for ver, accs := range accesses {
+		reportGroup(pass, fn, ver, accs, ops[ver])
+	}
+}
+
+// reportGroup applies the writer or reader rule to one guarded group's
+// accesses within one function.
+func reportGroup(pass *analysis.Pass, fn *ast.FuncDecl, ver types.Object, accs []access, o *verOps) {
+	if len(accs) == 0 {
+		return
+	}
+	if o == nil {
+		o = &verOps{}
+	}
+	first, last := accs[0], accs[0]
+	hasWrite := false
+	for _, a := range accs {
+		if a.pos < first.pos {
+			first = a
+		}
+		if a.pos > last.pos {
+			last = a
+		}
+		hasWrite = hasWrite || a.write
+	}
+	verName := ver.Name()
+
+	if hasWrite {
+		if !anyBefore(o.writes, first.pos) {
+			pass.Reportf(first.pos,
+				"seqlock-guarded field %s.%s mutated in %s without writing version %s first (make the version odd/unpublished before the first guarded store)",
+				first.info.structName, first.info.fieldName, fn.Name.Name, verName)
+		}
+		if !anyAfter(o.writes, last.pos) {
+			pass.Reportf(last.pos,
+				"seqlock-guarded field %s.%s mutated in %s without publishing version %s afterwards (write the version again after the last guarded store)",
+				last.info.structName, last.info.fieldName, fn.Name.Name, verName)
+		}
+		return
+	}
+
+	if !anyBefore(o.reads, first.pos) {
+		pass.Reportf(first.pos,
+			"seqlock-guarded field %s.%s read in %s without loading version %s first",
+			first.info.structName, first.info.fieldName, fn.Name.Name, verName)
+	}
+	if !anyAfter(o.reads, last.pos) {
+		pass.Reportf(last.pos,
+			"seqlock-guarded field %s.%s read in %s without re-reading version %s afterwards (double-read the version around guarded loads)",
+			last.info.structName, last.info.fieldName, fn.Name.Name, verName)
+	} else if !o.compared {
+		pass.Reportf(first.pos,
+			"guarded reads in %s never compare version %s; check the re-read against the first read and retry or discard the pass",
+			fn.Name.Name, verName)
+	}
+}
+
+func anyBefore(ps []token.Pos, p token.Pos) bool {
+	for _, q := range ps {
+		if q < p {
+			return true
+		}
+	}
+	return false
+}
+
+func anyAfter(ps []token.Pos, p token.Pos) bool {
+	for _, q := range ps {
+		if q > p {
+			return true
+		}
+	}
+	return false
+}
+
+// selObject resolves a selector to the field/variable it denotes.
+func selObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	if s, ok := info.Selections[sel]; ok {
+		return s.Obj()
+	}
+	return info.Uses[sel.Sel]
+}
+
+// isLoadCall reports whether the call's function name contains "Load"
+// (old-API atomic loads).
+func isLoadCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	name := sel.Sel.Name
+	for i := 0; i+4 <= len(name); i++ {
+		if name[i:i+4] == "Load" {
+			return true
+		}
+	}
+	return false
+}

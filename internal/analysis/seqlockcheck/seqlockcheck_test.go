@@ -1,0 +1,12 @@
+package seqlockcheck_test
+
+import (
+	"testing"
+
+	"lcrq/internal/analysis/seqlockcheck"
+	"lcrq/internal/lint/linttest"
+)
+
+func TestSeqlockcheck(t *testing.T) {
+	linttest.Run(t, seqlockcheck.Analyzer, "seqlocktest")
+}

@@ -1,0 +1,161 @@
+// Package seqlocktest is a lint fixture: seqlock-guarded fields accessed
+// inside and outside the version-word protocol, including a reproduction
+// of the telemetry retire-fold race the protocol exists to prevent.
+package seqlocktest
+
+import "sync/atomic"
+
+// slot is the ring-slot shape: one version word guarding a payload pair.
+type slot struct {
+	seq atomic.Uint64
+	//lcrq:seqlock seq
+	id atomic.Uint64
+	//lcrq:seqlock seq
+	ns atomic.Int64
+}
+
+// goodWrite publishes under the full bracket: version bumped before the
+// first guarded store and again after the last.
+func (s *slot) goodWrite(id uint64, ns int64) {
+	s.seq.Add(1)
+	s.id.Store(id)
+	s.ns.Store(ns)
+	s.seq.Add(1)
+}
+
+// goodRead double-reads the version and drops torn passes.
+func (s *slot) goodRead() (uint64, int64, bool) {
+	v := s.seq.Load()
+	id := s.id.Load()
+	ns := s.ns.Load()
+	if s.seq.Load() != v {
+		return 0, 0, false
+	}
+	return id, ns, true
+}
+
+// badWriteNoBracket mutates the payload with no version traffic at all.
+func (s *slot) badWriteNoBracket(id uint64) {
+	s.id.Store(id) // want `mutated in badWriteNoBracket without writing version seq first` `without publishing version seq afterwards`
+}
+
+// badWriteHalfBracket opens the bracket but never closes it: a reader that
+// starts after the store sees an even version over torn data.
+func (s *slot) badWriteHalfBracket(id uint64, ns int64) {
+	s.seq.Add(1)
+	s.id.Store(id)
+	s.ns.Store(ns) // want `mutated in badWriteHalfBracket without publishing version seq afterwards`
+}
+
+// badReadNoRecheck loads the version once and never re-reads it, so a
+// concurrent writer tears the pair invisibly.
+func (s *slot) badReadNoRecheck() (uint64, int64) {
+	v := s.seq.Load()
+	_ = v
+	id := s.id.Load()
+	ns := s.ns.Load() // want `read in badReadNoRecheck without re-reading version seq afterwards`
+	return id, ns
+}
+
+// badReadNoCompare double-reads the version but never compares the two
+// loads, so the re-read decides nothing.
+func (s *slot) badReadNoCompare() uint64 {
+	s.seq.Load()
+	id := s.id.Load() // want `guarded reads in badReadNoCompare never compare version seq`
+	s.seq.Load()
+	return id
+}
+
+// newSlot writes through a provably unpublished local: the construction
+// window needs no bracket.
+func newSlot(id uint64) *slot {
+	s := &slot{}
+	s.id.Store(id)
+	return s
+}
+
+// drain runs after quiescence; the annotation sanctions protocol-free
+// access.
+//
+//lcrq:exclusive
+func drain(s *slot) (uint64, int64) {
+	return s.id.Load(), s.ns.Load()
+}
+
+// sink models the PR 8 telemetry retire fold: a retired aggregate and a
+// live-record list that must change atomically with respect to a scraper,
+// guarded by one version word.
+type sink struct {
+	retireVer atomic.Uint64
+	//lcrq:seqlock retireVer
+	retired uint64
+	//lcrq:seqlock retireVer
+	recs atomic.Pointer[[]uint64]
+}
+
+// unregisterRacy is the pre-fix fold shape: it adds the departing record
+// to the retired sum and swaps the live list with no version bracket, so
+// a concurrent scrape can read the new sum alongside the stale list and
+// count the handle twice.
+func (s *sink) unregisterRacy(v uint64) {
+	s.retired += v // want `mutated in unregisterRacy without writing version retireVer first`
+	old := *s.recs.Load()
+	next := make([]uint64, 0, len(old))
+	for _, o := range old {
+		if o != v {
+			next = append(next, o)
+		}
+	}
+	s.recs.Store(&next) // want `mutated in unregisterRacy without publishing version retireVer afterwards`
+}
+
+// snapshotRacy is the pre-fix scrape shape: both halves read with no
+// version check at all.
+func (s *sink) snapshotRacy() (uint64, int) {
+	sum := s.retired // want `read in snapshotRacy without loading version retireVer first`
+	n := len(*s.recs.Load()) // want `read in snapshotRacy without re-reading version retireVer afterwards`
+	return sum, n
+}
+
+// unregisterFixed is the post-fix fold: odd before the first half, even
+// after the second.
+func (s *sink) unregisterFixed(v uint64) {
+	s.retireVer.Add(1)
+	s.retired += v
+	old := *s.recs.Load()
+	next := make([]uint64, 0, len(old))
+	for _, o := range old {
+		if o != v {
+			next = append(next, o)
+		}
+	}
+	s.recs.Store(&next)
+	s.retireVer.Add(1)
+}
+
+// snapshotFixed is the post-fix scrape: retry until a whole pass lands
+// between folds.
+func (s *sink) snapshotFixed() (uint64, int) {
+	for {
+		v := s.retireVer.Load()
+		if v&1 != 0 {
+			continue
+		}
+		sum := s.retired
+		n := len(*s.recs.Load())
+		if s.retireVer.Load() == v {
+			return sum, n
+		}
+	}
+}
+
+// badAnno exercises the annotation sanity checks.
+type badAnno struct {
+	ver atomic.Uint64
+	//lcrq:seqlock missing
+	a uint64 // want `names unknown version field "missing"`
+	//lcrq:seqlock
+	b uint64 // want `names no version field`
+	//lcrq:seqlock c
+	c uint64 // want `names the field itself`
+}

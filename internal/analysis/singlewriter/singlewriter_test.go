@@ -1,0 +1,12 @@
+package singlewriter_test
+
+import (
+	"testing"
+
+	"lcrq/internal/analysis/singlewriter"
+	"lcrq/internal/lint/linttest"
+)
+
+func TestSinglewriter(t *testing.T) {
+	linttest.Run(t, singlewriter.Analyzer, "singlewritertest")
+}

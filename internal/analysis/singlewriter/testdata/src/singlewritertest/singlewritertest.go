@@ -1,0 +1,74 @@
+// Package singlewritertest is a lint fixture: single-writer state mutated
+// from inside and outside the owning type's method set.
+package singlewritertest
+
+import "sync/atomic"
+
+// ctl is the owner-mutated controller shape: plain fields, one writer.
+//
+//lcrq:singlewriter
+type ctl struct {
+	ewma   float64
+	streak int
+}
+
+// observe mutates from the type's own method set: the owning handle.
+func (c *ctl) observe(x float64) {
+	c.ewma = 0.875*c.ewma + 0.125*x
+	if x > c.ewma {
+		c.streak++
+	} else {
+		c.streak = 0
+	}
+}
+
+// level only reads, which any goroutine may do (advisory reads).
+func level(c *ctl) float64 {
+	return c.ewma
+}
+
+// poke mutates from a plain function: the cross-goroutine write the
+// annotation forbids.
+func poke(c *ctl) {
+	c.streak = 0 // want `field streak of single-writer type ctl mutated in poke, outside ctl's method set`
+}
+
+// bump is the increment flavor of the same violation.
+func bump(c *ctl) {
+	c.streak++ // want `field streak of single-writer type ctl mutated in bump`
+}
+
+// leak hands out an interior pointer a writer could use.
+func leak(c *ctl) *float64 {
+	return &c.ewma // want `field ewma of single-writer type ctl mutated in leak`
+}
+
+// newCtl writes through a provably unpublished local: construction is
+// exempt.
+func newCtl() *ctl {
+	c := &ctl{}
+	c.ewma = 1
+	return c
+}
+
+// teardown runs after quiescence; the annotation sanctions the write.
+//
+//lcrq:exclusive
+func teardown(c *ctl) {
+	c.streak = 0
+	c.ewma = 0
+}
+
+// badAtomic pairs the annotation with an atomic field: evidence the type
+// is actually shared, so one of the two must go.
+//
+//lcrq:singlewriter
+type badAtomic struct {
+	hits atomic.Uint64 // want `single-writer type badAtomic declares atomic field hits`
+	miss int
+}
+
+// notStruct cannot carry a field-ownership contract.
+//
+//lcrq:singlewriter
+type notStruct int // want `annotation on notStruct, which is not a struct type`

@@ -1,7 +1,15 @@
 // Package analysis is lcrqlint's analyzer suite: the mechanical checks for
 // the concurrency invariants this repository otherwise enforces only by
-// convention. See DESIGN.md §10 for each invariant, its paper rationale,
-// and the //lcrq: annotation syntax the analyzers consume.
+// convention. See DESIGN.md §10 and §15 for each invariant, its paper
+// rationale, and the //lcrq: annotation syntax the analyzers consume.
+//
+// The suite has two generations. v1 (align128, atomiconly, padcheck,
+// hotpath, statsmirror) checks per-word invariants: alignment of CAS2
+// cells, atomic-only access to shared words, false-sharing pads, registry
+// completeness. v2 (seqlockcheck, singlewriter, publication, chaosreg)
+// checks multi-statement protocols: the seqlock version-word bracket, the
+// single-writer ownership discipline, construct-then-publish windows, and
+// chaos injection-point registry hygiene.
 //
 // The analyzers are written against the (vendored) golang.org/x/tools
 // go/analysis API — see internal/lint/analysis — and run both standalone
@@ -11,8 +19,12 @@ package analysis
 import (
 	"lcrq/internal/analysis/align128"
 	"lcrq/internal/analysis/atomiconly"
+	"lcrq/internal/analysis/chaosreg"
 	"lcrq/internal/analysis/hotpath"
 	"lcrq/internal/analysis/padcheck"
+	"lcrq/internal/analysis/publication"
+	"lcrq/internal/analysis/seqlockcheck"
+	"lcrq/internal/analysis/singlewriter"
 	"lcrq/internal/analysis/statsmirror"
 	"lcrq/internal/lint/analysis"
 )
@@ -25,5 +37,9 @@ func All() []*analysis.Analyzer {
 		padcheck.Analyzer,
 		hotpath.Analyzer,
 		statsmirror.Analyzer,
+		seqlockcheck.Analyzer,
+		singlewriter.Analyzer,
+		publication.Analyzer,
+		chaosreg.Analyzer,
 	}
 }

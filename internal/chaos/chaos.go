@@ -104,6 +104,12 @@ const (
 	NumPoints
 )
 
+// pointNames is the injection-point registry: the stable kebab-case names
+// docs, test output, and the schedule sweep key on. chaosreg checks the
+// names (unique, kebab-case) and statsmirror the completeness; the one
+// runtime backstop is TestPointRegistryBackstop.
+//
+//lcrq:points
 var pointNames = [NumPoints]string{
 	EnqCAS2Fail:  "enq-cas2-fail",
 	DeqCAS2Fail:  "deq-cas2-fail",

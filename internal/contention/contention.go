@@ -76,6 +76,8 @@ var pauseSink atomic.Uint64
 // the core Handle and owned by the handle's goroutine: no method may be
 // called concurrently, and none uses atomics. The zero value is inert
 // (disabled, no RNG); call Init before use.
+//
+//lcrq:singlewriter
 type Controller struct {
 	enabled bool
 	spinMin uint32
@@ -280,6 +282,7 @@ func Pause(n uint32) {
 // share a line.
 //
 //lcrq:padded
+//lcrq:publish
 type Shared struct {
 	boost atomic.Uint64
 	_     pad.Pad

@@ -28,6 +28,7 @@ const (
 // range (§4: the F&A-over-CAS win evaporates if these words share lines).
 //
 //lcrq:padded
+//lcrq:publish
 type CRQ struct {
 	head atomic.Uint64
 	_    pad.Pad

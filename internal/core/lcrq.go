@@ -27,6 +27,7 @@ import (
 // annotated //lcrq:cold, which may share lines with each other.
 //
 //lcrq:padded
+//lcrq:publish
 type LCRQ struct {
 	head atomic.Pointer[CRQ]
 	_    pad.Line

@@ -63,8 +63,10 @@ const traceBatchMax = 8
 // re-read by readers, seqlock style, so id/ns are never observed torn.
 type traceStamp struct {
 	tag atomic.Uint64
-	id  atomic.Uint64
-	ns  atomic.Int64
+	//lcrq:seqlock tag
+	id atomic.Uint64
+	//lcrq:seqlock tag
+	ns atomic.Int64
 }
 
 // traceSeed scrambles per-handle PRNG seeds so sampled handles do not draw

@@ -66,6 +66,8 @@ type Config struct {
 // Frame is one periodic observation. Counter fields are deltas since the
 // previous frame (rates, effectively, over one interval); gauges and
 // quantiles are point-in-time.
+//
+//lcrq:publish
 type Frame struct {
 	At time.Time `json:"at"`
 
@@ -102,6 +104,8 @@ type Frame struct {
 }
 
 // Dump is the flight recorder's output document.
+//
+//lcrq:publish
 type Dump struct {
 	// Meta stamps which build produced this dump, on how many processors,
 	// and when — a dump without provenance is guesswork.

@@ -31,7 +31,8 @@ type eventRing struct {
 }
 
 type eventSlot struct {
-	seq    atomic.Uint64 // published sequence + 1; 0 = never written
+	seq atomic.Uint64 // published sequence + 1; 0 = never written
+	//lcrq:seqlock seq
 	packed atomic.Uint64 // kind<<56 | nanos-since-epoch (56 bits ≈ 2.3 years)
 }
 

@@ -101,15 +101,23 @@ const DefaultEventBuffer = 256
 // aggregate disagree. Nil outside tests.
 var retireMidFold func()
 
-// Sink aggregates telemetry for one queue. It implements core.Tap.
+// Sink aggregates telemetry for one queue. It implements core.Tap. Its
+// plain fields are configuration and sub-structure pointers frozen when
+// New publishes the sink; all post-publication mutation goes through
+// atomics or mu.
+//
+//lcrq:publish
 type Sink struct {
 	sampleN uint32 // latency sampling stride; 0 disables sampling
 	epoch   int64  // UnixNano base for compact event timestamps
 
-	mu      sync.Mutex                 // guards registration and retired
-	retired instrument.Counters        // sum over released handles (under mu)
-	retPub  *instrument.AtomicCounters // atomically readable copy of retired
-	recs    atomic.Pointer[[]*Rec]     // copy-on-write registry of live handles
+	mu sync.Mutex // guards registration and retired
+	//lcrq:seqlock retireVer
+	retired instrument.Counters // sum over released handles (under mu)
+	//lcrq:seqlock retireVer
+	retPub *instrument.AtomicCounters // atomically readable copy of retired
+	//lcrq:seqlock retireVer
+	recs atomic.Pointer[[]*Rec] // copy-on-write registry of live handles
 	// retireVer is a seqlock over the (retPub, recs) pair: odd while an
 	// Unregister is folding a handle into the retired sum. Without it a
 	// Snapshot could read the new retired total and the stale live list,
@@ -166,6 +174,8 @@ func (s *Sink) RingEvent(ev core.RingEvent) {
 
 // Rec is the per-handle telemetry record. Like the handle itself it is
 // single-writer: only the owning goroutine calls Arm, Lat, and Tick.
+//
+//lcrq:singlewriter
 type Rec struct {
 	sink      *Sink
 	src       *instrument.Counters
@@ -184,11 +194,18 @@ func (s *Sink) Register(src *instrument.Counters) *Rec {
 		r.countdown = uint32(seed%uint64(s.sampleN)) + 1
 	}
 	s.mu.Lock()
+	// Bracket the list swap in the retireVer seqlock, like Unregister: recs
+	// is one half of the (retPub, recs) pair, and a registration racing a
+	// scrape mid-pass should send the scrape around again rather than let
+	// it treat "list changed under me" as a clean read. Found by
+	// seqlockcheck when the pair was annotated.
+	s.retireVer.Add(1)
 	old := *s.recs.Load()
 	next := make([]*Rec, len(old)+1)
 	copy(next, old)
 	next[len(old)] = r
 	s.recs.Store(&next)
+	s.retireVer.Add(1)
 	s.mu.Unlock()
 	return r
 }

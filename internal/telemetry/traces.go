@@ -32,8 +32,11 @@ type traceRing struct {
 
 type traceSlot struct {
 	seq atomic.Uint64 // published sequence + 1; 0 = never written
-	id  atomic.Uint64
+	//lcrq:seqlock seq
+	id atomic.Uint64
+	//lcrq:seqlock seq
 	enq atomic.Int64
+	//lcrq:seqlock seq
 	soj atomic.Int64
 }
 
