@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race purego chaos soak fuzz bench batchbench oversubbench examples reproduce check clean lint crossarch e2e e2e-baseline
+.PHONY: all build vet test race purego chaos soak fuzz bench batchbench oversubbench ringbench examples reproduce check clean lint crossarch e2e e2e-baseline
 
 all: check
 
@@ -72,6 +72,12 @@ batchbench:
 # JSON sidecar (the committed baseline is BENCH_contention.json).
 oversubbench:
 	$(GO) run ./cmd/qbench -oversub 8 -pairs 50000 -runs 24 -metrics BENCH_contention.json
+
+# Ring-engine study: the portable SCQ ring vs the CAS2 ring under the
+# paper's pairwise workload, with the SCQ/LCRQ throughput ratio printed and
+# a JSON sidecar (the committed baseline is BENCH_ring.json).
+ringbench:
+	$(GO) run ./cmd/qbench -ring scq,lcrq -threads 1,2,4,8 -pairs 50000 -runs 8 -metrics BENCH_ring.json
 
 # End-to-end queue-as-a-service check: build qserve and qload, run the
 # sweep with all three fault scenarios (killed connections, slow-consumer

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -47,7 +48,7 @@ func main() {
 		pairs      = flag.Int("pairs", 0, "enqueue/dequeue pairs per thread (0 = scaled default)")
 		runs       = flag.Int("runs", 0, "runs per configuration (0 = scaled default)")
 		maxThreads = flag.Int("maxthreads", 0, "clip thread axis (0 = spec values)")
-		ring       = flag.Int("ring", 0, "override LCRQ ring order (0 = default)")
+		ring       = flag.String("ring", "", "a number overrides the LCRQ ring order; engine names (scq,lcrq) run the ring-engine comparison sweep")
 		pin        = flag.Bool("pin", true, "pin threads to CPUs when supported")
 		csv        = flag.Bool("csv", false, "emit figure data as CSV")
 		jsonOut    = flag.Bool("json", false, "emit results as JSON")
@@ -65,8 +66,21 @@ func main() {
 	)
 	flag.Parse()
 
+	// -ring is overloaded: a bare number keeps its original meaning (ring
+	// order override), anything else names ring engines for the comparison
+	// sweep (e.g. -ring scq,lcrq).
+	ringOrder := 0
+	ringEngines := ""
+	if *ring != "" {
+		if n, err := strconv.Atoi(*ring); err == nil {
+			ringOrder = n
+		} else {
+			ringEngines = *ring
+		}
+	}
+
 	sc := harness.Scale{Pairs: *pairs, Runs: *runs, MaxThreads: *maxThreads,
-		RingOrder: *ring, Pin: *pin, Capacity: *capacity, Watchdog: *watchdog}
+		RingOrder: ringOrder, Pin: *pin, Capacity: *capacity, Watchdog: *watchdog}
 	if *paper {
 		p := harness.Paper()
 		if *pairs == 0 {
@@ -110,6 +124,10 @@ func main() {
 		}
 	case *oversub > 0:
 		if err := runOversub(*oversub, *queuesFlag, sc, mode); err != nil {
+			fatal(err)
+		}
+	case ringEngines != "":
+		if err := runRingEngines(ringEngines, *threadsF, sc, mode); err != nil {
 			fatal(err)
 		}
 	case *queuesFlag != "":
@@ -320,6 +338,61 @@ func runCustom(queuesCSV, threadsCSV string, prefill int, enqRatio float64, sc h
 		return err
 	}
 	return mode.figure(res)
+}
+
+// runRingEngines compares ring engines under the paper's single-op
+// pairwise workload: each engine name maps to the registered queue that
+// forces it ("lcrq" = the per-GOARCH default, CAS2 on native amd64; "scq" =
+// the portable single-word engine). Besides the usual figure rendering it
+// prints the SCQ/LCRQ throughput ratio per thread count — the acceptance
+// gate for the portable ring is staying within 2x of CAS2 on amd64.
+func runRingEngines(enginesCSV, threadsCSV string, sc harness.Scale, mode outputMode) error {
+	var names []string
+	for _, e := range strings.Split(enginesCSV, ",") {
+		switch e = strings.TrimSpace(e); e {
+		case "scq", "lcrq":
+			names = append(names, e)
+		default:
+			return fmt.Errorf("unknown ring engine %q (have scq, lcrq)", e)
+		}
+	}
+	var threads []int
+	for _, t := range strings.Split(threadsCSV, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(t))
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad thread count %q", t)
+		}
+		threads = append(threads, v)
+	}
+	spec := harness.FigureSpec{
+		ID:        "ring-engines",
+		Title:     "ring engine comparison (enqueue/dequeue pairs)",
+		Queues:    names,
+		Threads:   threads,
+		Placement: harness.SingleCluster,
+		MaxDelay:  100,
+	}
+	res, err := harness.RunFigure(spec, sc)
+	if err != nil {
+		return err
+	}
+	if err := mode.figure(res); err != nil {
+		return err
+	}
+	byQueue := map[string][]harness.Point{}
+	for _, s := range res.Series {
+		byQueue[s.Queue] = s.Points
+	}
+	scq, lcrq := byQueue["scq"], byQueue["lcrq"]
+	if !mode.json && len(scq) == len(lcrq) && len(lcrq) > 0 {
+		fmt.Printf("\nSCQ/LCRQ throughput ratio (%s):\n", runtime.GOARCH)
+		for i := range lcrq {
+			if lcrq[i].Mops > 0 {
+				fmt.Printf("  %2d threads: %.2fx\n", lcrq[i].X, scq[i].Mops/lcrq[i].Mops)
+			}
+		}
+	}
+	return nil
 }
 
 func printList() {

@@ -194,7 +194,19 @@ func checkAtomic64Offset32(pass *analysis.Pass, call *ast.CallExpr, sizes32 type
 	if operand == nil || !is64 {
 		return
 	}
-	sel, ok := ast.Unparen(operand).(*ast.SelectorExpr)
+	// Unwrap indexing so array-of-word fields are covered too — the SCQ
+	// ring's cycle-tagged entry words are exactly this shape. The element
+	// stride of a 64-bit word is 8, so a misaligned array base misaligns
+	// every element regardless of the (possibly dynamic) index.
+	expr := ast.Unparen(operand)
+	for {
+		ix, ok := expr.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		expr = ast.Unparen(ix.X)
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
 	if !ok {
 		return
 	}

@@ -82,3 +82,21 @@ type aligned64 struct {
 func bumpAligned(c *aligned64) {
 	atomic.AddUint64(&c.hits, 1)
 }
+
+// scqRingFixture mirrors the portable SCQ ring's shape on the old API: the
+// cycle-tagged entry words and the threshold counter are single 64-bit
+// operands, not 16-byte cells, and rule 4 must still cover them. The bool
+// pushes both to misaligned 32-bit offsets.
+type scqRingFixture struct {
+	closed  bool
+	thr     int64
+	entries [4]uint64
+}
+
+func scqDecrThreshold(r *scqRingFixture) int64 {
+	return atomic.AddInt64(&r.thr, -1) // want `atomic 64-bit operation on field .*scqRingFixture\.thr at 32-bit offset 4`
+}
+
+func scqConsume(r *scqRingFixture, j int) uint64 {
+	return atomic.LoadUint64(&r.entries[j]) // want `atomic 64-bit operation on field .*scqRingFixture\.entries at 32-bit offset 12`
+}

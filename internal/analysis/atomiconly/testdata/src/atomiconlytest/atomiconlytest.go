@@ -59,3 +59,39 @@ func publish(i int, v uint64) {
 func peek(i int) uint64 {
 	return slots[i] // want `plain access to slots, which is accessed atomically at .*`
 }
+
+// scqIdxRing mirrors the portable SCQ ring on the old API: entry words are
+// single 64-bit cycle-tagged operands consumed with atomic AND, and the
+// threshold is a plain int64 driven by atomic adds. Both must be
+// constrained exactly like 16-byte cell halves.
+type scqIdxRing struct {
+	entries [4]uint64
+	thr     int64
+}
+
+func (r *scqIdxRing) consume(j int, idxMask uint64) uint64 {
+	return atomic.AndUint64(&r.entries[j], ^idxMask)
+}
+
+func (r *scqIdxRing) deposit(j int, e uint64) bool {
+	old := r.entries[j] // want `plain access to entries, which is accessed atomically at .*`
+	return atomic.CompareAndSwapUint64(&r.entries[j], old, e)
+}
+
+func (r *scqIdxRing) emptyVerdict() bool {
+	return atomic.AddInt64(&r.thr, -1) < 0
+}
+
+func (r *scqIdxRing) rearm(reset int64) {
+	r.thr = reset // want `plain access to thr, which is accessed atomically at .*`
+}
+
+// initRing is an initialization window; plain writes are sanctioned.
+//
+//lcrq:exclusive
+func (r *scqIdxRing) initRing(reset int64) {
+	for i := range r.entries {
+		r.entries[i] = 0
+	}
+	r.thr = reset
+}

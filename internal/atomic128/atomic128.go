@@ -41,18 +41,30 @@ func (u *Uint128) LoadLo() uint64 { return atomic.LoadUint64(&u.lo) }
 //lcrq:hotpath
 func (u *Uint128) LoadHi() uint64 { return atomic.LoadUint64(&u.hi) }
 
-// StoreLo atomically stores the low 64-bit half. It must not race with
-// CompareAndSwap on the fallback (non-amd64) implementation; in this
-// repository it is only used while initializing cells that are not yet
-// shared.
+// StoreLo atomically stores the low 64-bit half.
+//
+// On emulated builds (non-amd64, purego, race) the store acquires the
+// cell's stripe lock, so it serializes with casEmulated instead of landing
+// between its compare and its two half-stores (which would publish a cell
+// state neither operation intended). On native builds it is a plain 64-bit
+// atomic store: CMPXCHG16B is a single instruction, so a racing half-store
+// lands atomically before or after it.
 //
 //lcrq:hotpath
-func (u *Uint128) StoreLo(v uint64) { atomic.StoreUint64(&u.lo, v) }
+func (u *Uint128) StoreLo(v uint64) { storeLo128(u, v) }
 
-// StoreHi atomically stores the high 64-bit half. Same caveat as StoreLo.
+// StoreHi atomically stores the high 64-bit half. Same locking discipline
+// as StoreLo.
 //
 //lcrq:hotpath
-func (u *Uint128) StoreHi(v uint64) { atomic.StoreUint64(&u.hi, v) }
+func (u *Uint128) StoreHi(v uint64) { storeHi128(u, v) }
+
+// Store writes both halves. On emulated builds the pair is written inside
+// one stripe-lock critical section, so concurrent CAS2s observe either the
+// old or the new pair; on native builds it is two independent atomic
+// half-stores and callers needing the pair to appear atomically against
+// CAS2 must hold exclusive access (as init paths do).
+func (u *Uint128) Store(lo, hi uint64) { store128(u, lo, hi) }
 
 // CompareAndSwap atomically replaces (lo,hi) with (newLo,newHi) if the cell
 // currently holds exactly (oldLo,oldHi), and reports whether it did.

@@ -6,13 +6,27 @@ import (
 	"unsafe"
 )
 
-// The emulation serializes CAS2s that hash to the same stripe. Loads remain
-// plain 64-bit atomics: a load racing with an emulated CAS2 can observe the
-// two halves from different states, which is exactly the tearing the CRQ
-// protocol already tolerates (the validating CAS2 will fail and retry).
+// The emulation serializes CAS2s — and, since the store-interleaving fix,
+// Store/StoreLo/StoreHi on emulated builds — that hash to the same stripe.
+// Loads remain plain 64-bit atomics: a load racing with an emulated CAS2
+// can observe the two halves from different states, which is exactly the
+// tearing the CRQ protocol already tolerates (the validating CAS2 fails and
+// retries; TestEmulatedTornLoadValidation is the proof the comment used to
+// merely assert).
 const stripes = 256 // power of two
 
 var locks [stripes]sync.Mutex
+
+// stripe returns the lock serializing emulated operations on addr's cell.
+func stripe(addr *Uint128) *sync.Mutex {
+	return &locks[(uintptr(unsafe.Pointer(addr))>>4)%stripes]
+}
+
+// testHookMidCAS, when non-nil, runs inside casEmulated's critical section,
+// between the successful compare and the two half-stores. Tests use it to
+// prove that a concurrent store cannot land in that window (it blocks on
+// the stripe lock instead). Always nil outside tests.
+var testHookMidCAS func()
 
 // casEmulated is the portable striped-spinlock CAS2. It is compiled on
 // every platform — it is the cas128 implementation on non-amd64, purego,
@@ -20,16 +34,47 @@ var locks [stripes]sync.Mutex
 // the fallback path can be stress-tested on the same hardware as the
 // CMPXCHG16B path.
 func casEmulated(addr *Uint128, oldLo, oldHi, newLo, newHi uint64) bool {
-	mu := &locks[(uintptr(unsafe.Pointer(addr))>>4)%stripes]
+	mu := stripe(addr)
 	mu.Lock()
 	if atomic.LoadUint64(&addr.lo) != oldLo || atomic.LoadUint64(&addr.hi) != oldHi {
 		mu.Unlock()
 		return false
 	}
+	if h := testHookMidCAS; h != nil {
+		h()
+	}
 	atomic.StoreUint64(&addr.lo, newLo)
 	atomic.StoreUint64(&addr.hi, newHi)
 	mu.Unlock()
 	return true
+}
+
+// storeLoEmulated stores the low half under the stripe lock. Compiled on
+// every platform: it is the StoreLo implementation on emulated builds, and
+// tests drive it directly to exercise that path on native hardware.
+func storeLoEmulated(u *Uint128, v uint64) {
+	mu := stripe(u)
+	mu.Lock()
+	atomic.StoreUint64(&u.lo, v)
+	mu.Unlock()
+}
+
+// storeHiEmulated stores the high half under the stripe lock.
+func storeHiEmulated(u *Uint128, v uint64) {
+	mu := stripe(u)
+	mu.Lock()
+	atomic.StoreUint64(&u.hi, v)
+	mu.Unlock()
+}
+
+// storeEmulated stores both halves in one critical section, so emulated
+// CAS2s observe either the old pair or the new pair, never a mix.
+func storeEmulated(u *Uint128, lo, hi uint64) {
+	mu := stripe(u)
+	mu.Lock()
+	atomic.StoreUint64(&u.lo, lo)
+	atomic.StoreUint64(&u.hi, hi)
+	mu.Unlock()
 }
 
 // CompareAndSwapEmulated performs the CAS through the portable emulation

@@ -1,0 +1,15 @@
+//go:build !amd64 || purego || race
+
+package atomic128
+
+// On emulated builds every store routes through the cell's stripe lock: the
+// emulated CAS2 is a compare followed by two half-stores under that lock,
+// and an unlocked store could land between them, leaving the cell in a
+// mixed state neither operation published. Serializing stores with the lock
+// restores the interleaving guarantees of the hardware instruction.
+
+func storeLo128(u *Uint128, v uint64) { storeLoEmulated(u, v) }
+
+func storeHi128(u *Uint128, v uint64) { storeHiEmulated(u, v) }
+
+func store128(u *Uint128, lo, hi uint64) { storeEmulated(u, lo, hi) }

@@ -1,0 +1,19 @@
+//go:build amd64 && !purego && !race
+
+package atomic128
+
+import "sync/atomic"
+
+// On the native build the half-stores are plain 64-bit atomics: the CAS2 is
+// a single LOCK CMPXCHG16B instruction, so there is no compare-then-store
+// window for a half-store to corrupt — a racing store is serialized by the
+// hardware before or after the whole CAS2.
+
+func storeLo128(u *Uint128, v uint64) { atomic.StoreUint64(&u.lo, v) }
+
+func storeHi128(u *Uint128, v uint64) { atomic.StoreUint64(&u.hi, v) }
+
+func store128(u *Uint128, lo, hi uint64) {
+	atomic.StoreUint64(&u.lo, lo)
+	atomic.StoreUint64(&u.hi, hi)
+}

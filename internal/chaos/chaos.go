@@ -98,6 +98,23 @@ const (
 	// AdaptDecay forces the remediation to decay the boost on its next tick,
 	// exercising the recovery half of the controller's state machine.
 	AdaptDecay
+	// ScqEnqCAS forces an SCQ index-queue deposit CAS — the entry
+	// transition ⟨cycle, safe, ⊥⟩ → ⟨Cycle(T), 1, idx⟩ on the aq or fq —
+	// to be treated as failed, driving the depositor into its retry /
+	// tantrum slow path.
+	ScqEnqCAS
+	// ScqDeqCAS forces an SCQ dequeue-side entry CAS (the empty-advance or
+	// mark-unsafe transition) to be treated as failed.
+	ScqDeqCAS
+	// ScqCatchup yields just before the catchup CAS that drags an SCQ tail
+	// up to a head that overran it, widening the window in which fresh
+	// deposits race the tail rewrite.
+	ScqCatchup
+	// ScqThreshold yields between an SCQ deposit CAS and the threshold
+	// re-arm, widening the window in which a dequeuer can observe a
+	// negative threshold although an item is already published — the
+	// overlap the threshold trick's linearizability argument must cover.
+	ScqThreshold
 
 	// NumPoints is the number of injection points; it is not itself a
 	// point.
@@ -128,6 +145,11 @@ var pointNames = [NumPoints]string{
 	BatchDeqReserve: "batch-deq-reserve",
 	AdaptRaise:      "adapt-raise",
 	AdaptDecay:      "adapt-decay",
+
+	ScqEnqCAS:    "scq-enq-cas-fail",
+	ScqDeqCAS:    "scq-deq-cas-fail",
+	ScqCatchup:   "scq-catchup",
+	ScqThreshold: "scq-threshold",
 }
 
 // String returns the point's stable name, as used in docs and test output.

@@ -295,3 +295,78 @@ func TestCloseDrainUnderChaos(t *testing.T) {
 		t.Fatal("close/drain chaos test never forced a ring close or tantrum")
 	}
 }
+
+// scqScenarios mirrors scenarios() for the portable SCQ ring: its own CAS
+// and slow-path points plus the shared list-layer points, each with a
+// configuration that routes traffic through the SCQ engine.
+func scqScenarios() []pointScenario {
+	tiny := Config{RingOrder: 1, StarvationLimit: 4, Ring: RingSCQ}
+	bounded := Config{RingOrder: 1, StarvationLimit: 4, Ring: RingSCQ, Capacity: 2}
+	return []pointScenario{
+		{chaos.ScqEnqCAS, 0.3, tiny},
+		{chaos.ScqDeqCAS, 0.3, tiny},
+		{chaos.ScqCatchup, 0.5, tiny},
+		{chaos.ScqThreshold, 0.5, tiny},
+		{chaos.RingClose, 0.2, tiny},
+		{chaos.Tantrum, 0.2, tiny},
+		{chaos.DelayEnq, 0.5, tiny},
+		{chaos.DelayDeq, 0.5, tiny},
+		{chaos.CapacityGate, 0.5, bounded},
+	}
+}
+
+// TestSCQLinearizableUnderEachInjectionPoint is the SCQ counterpart of the
+// per-point campaign: linearizability must survive each fault individually,
+// and each point must actually fire on the SCQ code path.
+func TestSCQLinearizableUnderEachInjectionPoint(t *testing.T) {
+	for _, sc := range scqScenarios() {
+		t.Run(sc.point.String(), func(t *testing.T) {
+			chaos.Reset()
+			defer chaos.Reset()
+			chaos.Set(sc.point, sc.prob)
+			chaosCampaign(t, sc.cfg, 40, 3, 6, 13)
+			if chaos.Fired(sc.point) == 0 {
+				t.Fatalf("injection point %v never fired; scenario is vacuous", sc.point)
+			}
+		})
+	}
+}
+
+// TestSCQLinearizableUnderCombinedFaults arms every point at once over the
+// SCQ engine, under both reclamation modes.
+func TestSCQLinearizableUnderCombinedFaults(t *testing.T) {
+	for _, mode := range []Reclamation{ReclaimHazard, ReclaimEpoch} {
+		t.Run(mode.String(), func(t *testing.T) {
+			chaos.Reset()
+			defer chaos.Reset()
+			chaos.EnableAll(0.15)
+			cfg := Config{RingOrder: 1, StarvationLimit: 4, Ring: RingSCQ, Reclamation: mode}
+			chaosCampaign(t, cfg, 40, 3, 6, 99)
+			var hits int
+			for _, p := range chaos.Points() {
+				if chaos.Fired(p) > 0 {
+					hits++
+				}
+			}
+			if hits < 5 {
+				t.Fatalf("only %d injection points fired in the combined SCQ scenario", hits)
+			}
+			if chaos.Fired(chaos.ScqEnqCAS)+chaos.Fired(chaos.ScqDeqCAS) == 0 {
+				t.Fatal("no SCQ entry CAS ever failed; campaign missed the SCQ engine")
+			}
+		})
+	}
+}
+
+// TestSCQBoundedChaos runs the capacity gate over SCQ rings under combined
+// faults: the bound must hold and accepted traffic must stay linearizable.
+func TestSCQBoundedChaos(t *testing.T) {
+	chaos.Reset()
+	defer chaos.Reset()
+	chaos.EnableAll(0.15)
+	cfg := Config{RingOrder: 1, StarvationLimit: 4, Ring: RingSCQ, Capacity: 2}
+	chaosCampaign(t, cfg, 40, 3, 6, 7)
+	if chaos.Fired(chaos.CapacityGate) == 0 {
+		t.Fatal("capacity gate never fired; bounded SCQ scenario is vacuous")
+	}
+}

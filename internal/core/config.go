@@ -1,6 +1,9 @@
 package core
 
-import "time"
+import (
+	"runtime"
+	"time"
+)
 
 // Bottom is the reserved value that cannot be enqueued: it encodes the empty
 // cell (⊥) in the ring. The public API's typed facade removes the
@@ -72,6 +75,35 @@ const (
 	// allocation). Unavailable to the paper's C implementation.
 	ReclaimGC
 )
+
+// RingKind selects the ring engine inside each CRQ segment.
+type RingKind int
+
+const (
+	// RingAuto picks per GOARCH: the paper's CAS2 cells on amd64 (where
+	// CMPXCHG16B exists, including the purego/race builds that emulate it,
+	// for layout comparability), the portable SCQ ring everywhere else.
+	RingAuto RingKind = iota
+	// RingCAS2 forces the paper's 128-bit-cell layout (Figure 3). On
+	// non-amd64 builds its CAS2 runs on the striped-spinlock emulation,
+	// which is not lock-free.
+	RingCAS2
+	// RingSCQ forces the portable single-word ring (Nikolaev's SCQ; see
+	// scq.go and DESIGN.md §16): lock-free on every GOARCH.
+	RingSCQ
+)
+
+// String returns the ring name used in benchmarks and docs.
+func (k RingKind) String() string {
+	switch k {
+	case RingCAS2:
+		return "cas2"
+	case RingSCQ:
+		return "scq"
+	default:
+		return "auto"
+	}
+}
 
 // String returns the mode name used in benchmarks and docs.
 func (r Reclamation) String() string {
@@ -244,6 +276,12 @@ type Config struct {
 	// negative disables remediation (cap 0); values past MaxAdaptBoost are
 	// clamped to it.
 	AdaptBoostMax int
+
+	// Ring selects the ring engine: the paper's CAS2 cells or the portable
+	// single-word SCQ ring. The zero value (RingAuto) resolves per GOARCH —
+	// CAS2 on amd64, SCQ elsewhere — so non-x86 platforms get a lock-free
+	// queue by default instead of the spinlock-emulated CAS2.
+	Ring RingKind
 }
 
 // normalized returns c with defaults applied and bounds enforced.
@@ -339,6 +377,13 @@ func (c Config) normalized() Config {
 	}
 	if c.AdaptBoostMax > MaxAdaptBoost {
 		c.AdaptBoostMax = MaxAdaptBoost
+	}
+	if c.Ring == RingAuto {
+		if runtime.GOARCH == "amd64" {
+			c.Ring = RingCAS2
+		} else {
+			c.Ring = RingSCQ
+		}
 	}
 	return c
 }

@@ -54,6 +54,11 @@ type CRQ struct {
 	// claimed index t, matched by tag. Read-only after init, like slab.
 	stamps []traceStamp
 
+	// scq is the portable single-word ring engine (nil for the CAS2
+	// layout): when set, head/tail above serve as the SCQ's allocated-index
+	// queue and slab is not allocated. Selected by Config.Ring; see scq.go.
+	scq *scqRing
+
 	cfg Config
 }
 
@@ -68,9 +73,16 @@ func NewCRQ(cfg Config) *CRQ {
 	} else {
 		q.strideShift = 3
 	}
-	// The all-zero cell is the initial state (safe, index 0, ⊥), so the
-	// freshly zeroed slab needs no initialization loop.
-	q.slab = atomic128.AlignedUint128s(int(q.size) << q.strideShift)
+	if cfg.Ring == RingSCQ {
+		// Portable engine: 2×2n single-word entries + n value slots stand
+		// in for the CAS2 slab (see scq.go); cache_remap replaces stride
+		// padding, so NoPadding is meaningless here.
+		q.scq = newSCQRing(cfg.RingOrder)
+	} else {
+		// The all-zero cell is the initial state (safe, index 0, ⊥), so the
+		// freshly zeroed slab needs no initialization loop.
+		q.slab = atomic128.AlignedUint128s(int(q.size) << q.strideShift)
+	}
 	if cfg.TraceSampleN != 0 {
 		// Zero tags mean "no stamp", so the fresh array needs no init.
 		q.stamps = make([]traceStamp, q.size)
@@ -88,6 +100,9 @@ func (q *CRQ) cell(i uint64) *atomic128.Uint128 {
 // (i.e. after hazard-pointer reclamation).
 func (q *CRQ) reset() {
 	clear(q.slab)
+	if q.scq != nil {
+		q.scq.initState()
+	}
 	// Clearing only the tags suffices to invalidate every stamp: a recycled
 	// ring restarts at index 0, and stale tags from the previous life would
 	// otherwise alias indices of the new one exactly (tag == idx+1 repeats
@@ -105,9 +120,14 @@ func (q *CRQ) reset() {
 // exclusive access; LCRQ uses it to build "a new CRQ initialized to contain
 // x" (Figure 5c, line 162).
 func (q *CRQ) seed(v uint64) {
-	c := q.cell(0)
-	c.StoreLo(0)  // safe, index 0
-	c.StoreHi(^v) // value v
+	if q.scq != nil {
+		q.scq.seedValue(v)
+		q.tail.Store(1)
+		return
+	}
+	// Full-cell store: one stripe-locked critical section on emulated
+	// builds, two plain atomic halves on native (exclusive access either way).
+	q.cell(0).Store(0, ^v) // safe, index 0, value v
 	q.tail.Store(1)
 }
 
@@ -245,6 +265,9 @@ func (q *CRQ) Enqueue(h *Handle, v uint64) bool {
 	if v == Bottom {
 		panic("core: enqueue of reserved value Bottom")
 	}
+	if q.scq != nil {
+		return q.scqEnqueue(h, v)
+	}
 	tries := 0
 	for {
 		// Forced close: behave as if this attempt had observed a full ring.
@@ -324,6 +347,9 @@ func (q *CRQ) Enqueue(h *Handle, v uint64) bool {
 // matching enqueuer (evidenced by tail > h) a bounded spin to deposit its
 // value, avoiding a pointless retry by both parties.
 func (q *CRQ) Dequeue(h *Handle) (v uint64, ok bool) {
+	if q.scq != nil {
+		return q.scqDequeue(h)
+	}
 	for {
 		hIdx := q.faaHead(h)
 		chaos.Delay(chaos.DelayDeq)
@@ -416,6 +442,9 @@ func (q *CRQ) EnqueueBatch(h *Handle, vs []uint64) (n int, closed bool) {
 	k := uint64(len(vs))
 	if k == 0 {
 		return 0, q.Closed()
+	}
+	if q.scq != nil {
+		return q.scqEnqueueBatch(h, vs)
 	}
 	if k > q.size {
 		// A longer reservation would lap the ring onto itself (index t and
@@ -510,6 +539,9 @@ func (q *CRQ) DequeueBatch(h *Handle, out []uint64) int {
 	kMax := uint64(len(out))
 	if kMax == 0 {
 		return 0
+	}
+	if q.scq != nil {
+		return q.scqDequeueBatch(h, out)
 	}
 	if kMax > q.size {
 		kMax = q.size

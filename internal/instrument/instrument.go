@@ -41,6 +41,9 @@ type Counters struct {
 	UnsafeTrans uint64 // CRQ: unsafe transitions performed
 	SpinWaits   uint64 // CRQ: bounded waits for a matching enqueuer
 	Closes      uint64 // CRQ: times this thread closed a ring
+
+	ThresholdEmpty uint64 // SCQ: emptiness verdicts reached via the threshold trick
+	FreeEmpty      uint64 // SCQ: enqueues that found the free-index queue empty (ring full)
 	Appends     uint64 // LCRQ: new CRQs appended to the list
 	Recycled    uint64 // LCRQ: rings obtained from the recycler
 
@@ -82,6 +85,8 @@ func (c *Counters) Add(o *Counters) {
 	c.UnsafeTrans += o.UnsafeTrans
 	c.SpinWaits += o.SpinWaits
 	c.Closes += o.Closes
+	c.ThresholdEmpty += o.ThresholdEmpty
+	c.FreeEmpty += o.FreeEmpty
 	c.Appends += o.Appends
 	c.Recycled += o.Recycled
 	c.BatchEnqueues += o.BatchEnqueues

@@ -20,6 +20,9 @@ func init() {
 	Register("lcrq", func(cfg Config) Queue {
 		return newLCRQAdapter("lcrq", cfg, core.Config{RingOrder: cfg.RingOrder})
 	})
+	Register("scq", func(cfg Config) Queue {
+		return newLCRQAdapter("scq", cfg, core.Config{RingOrder: cfg.RingOrder, Ring: core.RingSCQ})
+	})
 	Register("lcrq-cas", func(cfg Config) Queue {
 		return newLCRQAdapter("lcrq-cas", cfg, core.Config{RingOrder: cfg.RingOrder, CASLoopFAA: true})
 	})

@@ -18,7 +18,8 @@ func testConfig() Config {
 // rely on.
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"cc-queue", "channel", "fc-queue", "h-queue", "kp-queue",
-		"lcrq", "lcrq+h", "lcrq-cas", "lcrq-ebr", "ms-queue", "sim-queue", "twolock"}
+		"lcrq", "lcrq+h", "lcrq-cas", "lcrq-ebr", "ms-queue", "scq", "sim-queue",
+		"twolock"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -223,7 +224,7 @@ func TestLinearizability(t *testing.T) {
 // operating, exercising reclamation-record reuse (hazard and epoch domains
 // recycle released records across threads).
 func TestHandleChurn(t *testing.T) {
-	for _, name := range []string{"lcrq", "lcrq-ebr", "lcrq+h", "fc-queue"} {
+	for _, name := range []string{"lcrq", "lcrq-ebr", "lcrq+h", "scq", "fc-queue"} {
 		t.Run(name, func(t *testing.T) {
 			q, err := New(name, testConfig())
 			if err != nil {

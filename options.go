@@ -29,6 +29,24 @@ func WithRingOrder(order int) Option {
 	return func(c *core.Config) { c.RingOrder = order }
 }
 
+// WithPortableRing selects the SCQ ring engine (Nikolaev's scalable
+// circular queue): cycle-tagged 64-bit entries driven by single-word
+// CAS/AND, so rings are lock-free on any GOARCH — no CMPXCHG16B, no
+// 128-bit emulation. This is already the default everywhere except native
+// amd64 builds; use it there to measure the portable engine on CAS2-capable
+// hardware. See DESIGN.md §16.
+func WithPortableRing() Option {
+	return func(c *core.Config) { c.Ring = core.RingSCQ }
+}
+
+// WithCAS2Ring forces the 128-bit CAS2 ring engine, the paper's CRQ. On
+// non-amd64, purego, or race builds the CAS2 itself runs through the
+// striped-lock emulation — correct but no longer lock-free; prefer the
+// default (SCQ) there unless comparing the engines.
+func WithCAS2Ring() Option {
+	return func(c *core.Config) { c.Ring = core.RingCAS2 }
+}
+
 // WithCASLoopFAA emulates fetch-and-add with a CAS loop, reproducing the
 // paper's LCRQ-CAS comparison point. Strictly worse under contention; it
 // exists to measure exactly how much worse.

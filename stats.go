@@ -26,6 +26,8 @@ type Stats struct {
 	EmptyTransitions  uint64 // empty transitions performed
 	UnsafeTransitions uint64 // unsafe transitions performed
 	SpinWaits         uint64 // bounded waits for a matching enqueuer
+	ThresholdEmpties  uint64 // SCQ: emptiness verdicts reached via the threshold trick
+	FreeEmpties       uint64 // SCQ: enqueues that found the free-index queue empty (ring full)
 
 	RingCloses   uint64 // ring segments this handle closed
 	RingAppends  uint64 // ring segments this handle appended
@@ -70,6 +72,8 @@ func statsFromCounters(c *instrument.Counters) Stats {
 		EmptyTransitions:  c.EmptyTrans,
 		UnsafeTransitions: c.UnsafeTrans,
 		SpinWaits:         c.SpinWaits,
+		ThresholdEmpties:  c.ThresholdEmpty,
+		FreeEmpties:       c.FreeEmpty,
 		RingCloses:        c.Closes,
 		RingAppends:       c.Appends,
 		RingRecycles:      c.Recycled,
@@ -116,6 +120,8 @@ func (s Stats) Add(o Stats) Stats {
 		EmptyTransitions:  s.EmptyTransitions + o.EmptyTransitions,
 		UnsafeTransitions: s.UnsafeTransitions + o.UnsafeTransitions,
 		SpinWaits:         s.SpinWaits + o.SpinWaits,
+		ThresholdEmpties:  s.ThresholdEmpties + o.ThresholdEmpties,
+		FreeEmpties:       s.FreeEmpties + o.FreeEmpties,
 		RingCloses:        s.RingCloses + o.RingCloses,
 		RingAppends:       s.RingAppends + o.RingAppends,
 		RingRecycles:      s.RingRecycles + o.RingRecycles,
